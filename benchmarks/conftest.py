@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at reduced
+scale (single round — these are end-to-end simulations, not microbenches)
+and asserts its shape properties.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full experiment run and return its result."""
+    result = {}
+
+    def wrapper():
+        result["value"] = fn(*args, **kwargs)
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return result["value"]
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

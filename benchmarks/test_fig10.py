@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 10 (small-file session throughput)."""
+
+from repro.experiments import fig10_small_throughput as fig10
+
+
+def test_fig10_session_throughput(once):
+    counts = (1, 2, 4, 8, 16)
+    results = once(fig10.run, client_counts=counts, duration=15.0)
+    print()
+    print(fig10.report(results))
+    assert fig10.checks(results) == []
+
+    nfs = results["NFS"]
+    pvfs = results["PVFS-8"]
+    sor = results["Sorrento-(8,2)"]
+    # NFS saturates in the several-hundreds-of-sessions band (paper ~700).
+    assert 300 < max(nfs.values()) < 1500
+    # PVFS saturates early and low (paper ~64/s).
+    assert max(pvfs.values()) < 100
+    # Sorrento's per-client scaling is near-linear through 16 clients.
+    assert sor[16] > 6 * sor[1]

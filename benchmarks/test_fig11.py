@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 11 (bulk read/write scaling)."""
+
+from repro.experiments import fig11_bulk as fig11
+
+
+def test_fig11_bulk_transfer_rates(once):
+    counts = (1, 4, 8)
+    results = once(fig11.run, client_counts=counts, scale=0.0625)
+    print()
+    print(fig11.report(results))
+
+    read, write = results["read"], results["write"]
+    # NFS flat-lines at a single-server ceiling.
+    assert read["NFS"][8] < 1.5 * read["NFS"][4]
+    assert read["NFS"][8] < 15
+    # PVFS and Sorrento scale with clients.
+    assert read["PVFS-8"][8] > 3 * read["PVFS-8"][1]
+    assert read["Sorrento-(8,2)"][8] > 3 * read["Sorrento-(8,2)"][1]
+    # Reads: Sorrento comparable with PVFS (within 2x).
+    ratio = read["PVFS-8"][8] / read["Sorrento-(8,2)"][8]
+    assert 0.5 < ratio < 2.0, f"read ratio {ratio:.2f}"
+    # Writes: PVFS ~2x Sorrento (every Sorrento byte lands twice).
+    wratio = write["PVFS-8"][8] / write["Sorrento-(8,2)"][8]
+    assert 1.3 < wratio < 3.2, f"write ratio {wratio:.2f}"
+    # Lazy propagation beats eager when the system is underloaded.
+    assert write["Sorrento-(8,2)"][1] > write["Sorrento-(8,2),eager"][1]

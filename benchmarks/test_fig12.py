@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 12 (BTIO + PSM application replay)."""
+
+from repro.experiments import fig12_apps as fig12
+
+
+def test_fig12_btio(once):
+    res = once(fig12.run_btio, scale=0.01)
+    print()
+    for name, s in res.items():
+        print(f"BTIO {name}: avg {s['avg']:.1f}s "
+              f"rd {s['read_rate']:.1f} MB/s wr {s['write_rate']:.1f} MB/s")
+    assert all(s["errors"] == 0 for s in res.values())
+    nfs, pvfs, sor = (res["NFS"]["avg"], res["PVFS-8"]["avg"],
+                      res["Sorrento-(8,1)"]["avg"])
+    # Paper: NFS ~10x slower; PVFS and Sorrento within ~15%.
+    assert nfs > 3 * max(pvfs, sor)
+    assert 0.5 < sor / pvfs < 2.0
+    # Client processes finish together (balanced workload).  At bench
+    # scale a single straggling phase weighs more, hence the loose bound
+    # (the full-scale experiment is within ~10%).
+    for s in res.values():
+        assert s["max"] < 1.6 * s["min"]
+
+
+def test_fig12_psm(once):
+    res = once(fig12.run_psm, scale=0.01)
+    print()
+    for name, s in res.items():
+        print(f"PSM {name}: avg {s['avg']:.1f}s rd {s['read_rate']:.1f} MB/s")
+    assert all(s["errors"] == 0 for s in res.values())
+    nfs, pvfs, sor = (res["NFS"]["avg"], res["PVFS-8"]["avg"],
+                      res["Sorrento-(8,1)"]["avg"])
+    assert nfs > 3 * max(pvfs, sor)
+    # Paper: Sorrento slightly ahead of PVFS on PSM; accept comparable.
+    assert 0.5 < sor / pvfs < 1.5
+    # No writes in PSM.
+    assert all(s["write_rate"] == 0 for s in res.values())

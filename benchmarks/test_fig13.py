@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 13 (failure + join under load)."""
+
+from repro.experiments import fig13_failure as fig13
+
+
+def test_fig13_failure_and_join(once):
+    res = once(fig13.run, scale=0.08, duration=120.0)
+    print()
+    print(fig13.report(res))
+    problems = fig13.checks(res)
+    assert problems == [], problems
+
+    t, rate = res["t"], res["rate"]
+    base = sum(r for x, r in zip(t, rate) if x <= res["fail_at"]) / \
+        len([x for x in t if x <= res["fail_at"]])
+    # Sustained service: the post-recovery average sits within the
+    # paper's ~85-95% band (loosely: above 60%).
+    tail = [r for x, r in zip(t, rate) if x > res["join_at"] + 20]
+    assert sum(tail) / len(tail) > 0.6 * base
+    # Lost replicas get re-created.
+    assert res["replications"] > 0

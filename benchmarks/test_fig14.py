@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 14 (crawler storage balance)."""
+
+from repro.experiments import fig14_crawler as fig14
+
+
+def test_fig14_crawler_balance(once):
+    results = once(fig14.run, scale=0.012, duration=1500.0)
+    print()
+    print(fig14.report(results))
+    problems = fig14.checks(results)
+    assert problems == [], problems
+
+    # The orderings are the paper's core claim; also sanity-check the
+    # magnitudes: random clearly uneven, migration clearly tighter.
+    assert results["Sorrento-random"]["ratio"] > 1.8
+    assert results["Sorrento-migration"]["ratio"] < \
+        0.8 * results["Sorrento-random"]["ratio"]
+    assert results["Sorrento-migration"]["migrations"] > 0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 15 (locality-driven migration, PSM)."""
+
+from repro.experiments import fig15_locality as fig15
+
+
+def test_fig15_locality_migration(once):
+    res = once(fig15.run, scale=0.02, n_queries=80, query_gap=3.0)
+    print()
+    print(fig15.report(res))
+    problems = fig15.checks(res)
+    assert problems == [], problems
+
+    series = res["series"]
+    start = sum(io for _, io in series[:2]) / 2
+    end = sum(io for _, io in series[-3:]) / 3
+    # Paper: 62 -> 46 ms/query (~26% better); require a clear drop.
+    assert end < 0.9 * start
+    assert res["migrations"] >= 10  # most partition segments moved

@@ -1,0 +1,17 @@
+"""Sorrento reproduction: a self-organizing storage cluster (SC 2004).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+- :mod:`repro.core` — Sorrento itself (deployment, client, daemons)
+- :mod:`repro.baselines` — NFS and PVFS comparison systems
+- :mod:`repro.workloads` — the paper's workload generators + trace replay
+- :mod:`repro.experiments` — one harness per evaluation table/figure
+- :mod:`repro.sim` / :mod:`repro.network` / :mod:`repro.storage` /
+  :mod:`repro.cluster` / :mod:`repro.kvstore` — the simulated substrate
+"""
+
+__version__ = "0.1.0"
+
+from repro.core import SorrentoConfig, SorrentoDeployment  # noqa: F401
+
+__all__ = ["SorrentoConfig", "SorrentoDeployment", "__version__"]

@@ -1,0 +1,13 @@
+"""Client-side programming interfaces (Section 2.3).
+
+Sorrento "provides multiple flavors of client-side programming
+interfaces": a basic NFS-style layer operating on opaque handles, and a
+UNIX-like file-system call layer built on top of it.  Both wrap
+:class:`repro.core.client.SorrentoClient`.
+"""
+
+from repro.api.handles import HandleAPI
+from repro.api.pario import ParallelIO, make_parallel_session
+from repro.api.posix import PosixAPI
+
+__all__ = ["HandleAPI", "ParallelIO", "PosixAPI", "make_parallel_session"]

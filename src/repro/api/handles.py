@@ -1,0 +1,124 @@
+"""The NFS-style handle interface (Section 2.3).
+
+Operations are based on opaque file and directory handles, mirroring the
+NFSv3 procedures the paper cites [4]: LOOKUP, CREATE, MKDIR, READ,
+WRITE, GETATTR, READDIR, REMOVE, RMDIR, plus Sorrento's COMMIT.  All
+methods are generators to run inside sim processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.client import SorrentoClient, SorrentoError
+
+_handle_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Handle:
+    """An opaque NFS-style handle."""
+
+    hid: int
+    path: str
+    is_dir: bool
+
+
+class HandleAPI:
+    """Stateless-protocol-style facade over the Sorrento client."""
+
+    def __init__(self, client: SorrentoClient):
+        self.client = client
+        self._open_files: Dict[int, object] = {}
+        self.root = Handle(next(_handle_ids), "/", True)
+
+    def _child(self, dirh: Handle, name: str) -> str:
+        if not dirh.is_dir:
+            raise SorrentoError(f"{dirh.path} is not a directory")
+        base = dirh.path.rstrip("/")
+        return f"{base}/{name}"
+
+    # -- namespace procedures ---------------------------------------------
+    def lookup(self, dirh: Handle, name: str):
+        """LOOKUP: resolve a name under a directory handle."""
+        path = self._child(dirh, name)
+        try:
+            yield from self.client.stat(path)
+            return Handle(next(_handle_ids), path, False)
+        except SorrentoError:
+            listing = yield from self.client.listdir(dirh.path)
+            if name + "/" in listing:
+                return Handle(next(_handle_ids), path, True)
+            raise
+
+    def create(self, dirh: Handle, name: str, **params):
+        """CREATE: make a file and return its handle."""
+        path = self._child(dirh, name)
+        yield from self.client.create(path, **params)
+        return Handle(next(_handle_ids), path, False)
+
+    def mkdir(self, dirh: Handle, name: str):
+        """MKDIR under a directory handle."""
+        path = self._child(dirh, name)
+        yield from self.client.mkdir(path)
+        return Handle(next(_handle_ids), path, True)
+
+    def readdir(self, dirh: Handle):
+        """READDIR: child names (subdirs end with '/')."""
+        listing = yield from self.client.listdir(dirh.path)
+        return listing
+
+    def getattr(self, h: Handle):
+        """GETATTR: the Sorrento file entry (version, times, policy)."""
+        entry = yield from self.client.stat(h.path)
+        return entry
+
+    def remove(self, dirh: Handle, name: str):
+        """REMOVE a file under a directory handle."""
+        entry = yield from self.client.unlink(self._child(dirh, name))
+        return entry
+
+    def rmdir(self, dirh: Handle, name: str):
+        """RMDIR an empty directory."""
+        result = yield from self.client.rmdir(self._child(dirh, name))
+        return result
+
+    # -- data procedures ---------------------------------------------------
+    def _session(self, h: Handle, mode: str):
+        fh = self._open_files.get(h.hid)
+        if fh is None or fh.closed or (mode == "w" and fh.mode != "w"):
+            if fh is not None and not fh.closed:
+                yield from self.client.close(fh)
+            fh = yield from self.client.open(h.path, mode)
+            self._open_files[h.hid] = fh
+        return fh
+
+    def read(self, h: Handle, offset: int, length: int):
+        """READ through the handle's cached session."""
+        fh = yield from self._session(h, "r")
+        data = yield from self.client.read(fh, offset, length)
+        return data
+
+    def write(self, h: Handle, offset: int, length: int,
+              data: Optional[bytes] = None):
+        """WRITE into the handle's shadow session."""
+        fh = yield from self._session(h, "w")
+        yield from self.client.write(fh, offset, length, data=data)
+
+    def commit(self, h: Handle):
+        """COMMIT: make this handle's pending writes the next version."""
+        fh = self._open_files.get(h.hid)
+        if fh is None or fh.closed:
+            return None
+        version = yield from self.client.commit(fh)
+        return version
+
+    def close(self, h: Handle):
+        """Close the cached session (committing pending writes)."""
+        fh = self._open_files.pop(h.hid, None)
+        if fh is not None and not fh.closed:
+            version = yield from self.client.close(fh)
+            return version
+        return None

@@ -1,0 +1,166 @@
+"""The UNIX-like file-system call interface (Section 2.3).
+
+"Upon this [handle] layer, we have implemented another library interface
+that is similar to the UNIX file-system calls."  File descriptors are
+small integers; a per-fd cursor supports sequential read/write; close()
+is the implicit commit; fsync() is an explicit one.  Extensions expose
+Sorrento-specific knobs (replication degree, placement policy) the way
+the paper describes applications fine-tuning per-file management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.client import SorrentoClient, SorrentoError
+
+O_RDONLY = "r"
+O_WRONLY = "w"
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+@dataclass
+class _OpenFile:
+    fh: object
+    pos: int = 0
+
+
+class PosixAPI:
+    """UNIX-flavoured wrapper with fd-table semantics."""
+
+    def __init__(self, client: SorrentoClient):
+        self.client = client
+        self._fds: Dict[int, _OpenFile] = {}
+        self._next_fd = 3  # 0-2 reserved, as tradition demands
+
+    # -- fd lifecycle ---------------------------------------------------
+    def open(self, path: str, flags: str = O_RDONLY, create: bool = False,
+             **create_params):
+        """open(2): returns a small-integer fd."""
+        if flags not in (O_RDONLY, O_WRONLY):
+            raise ValueError(f"bad flags {flags!r}")
+        fh = yield from self.client.open(path, flags, create=create,
+                                         **create_params)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = _OpenFile(fh=fh)
+        return fd
+
+    def close(self, fd: int):
+        """close(2): commits pending writes (Section 3.5 semantics)."""
+        of = self._fds.pop(fd, None)
+        if of is None:
+            raise SorrentoError(f"EBADF {fd}")
+        version = yield from self.client.close(of.fh)
+        return version
+
+    def fsync(self, fd: int):
+        """fsync(2): an explicit commit; the fd stays open and a fresh
+        shadow session begins on the next write."""
+        of = self._require(fd)
+        version = yield from self.client.commit(of.fh)
+        return version
+
+    # -- cursor I/O --------------------------------------------------------
+    def read(self, fd: int, length: int):
+        """read(2): from the fd's cursor, advancing it."""
+        of = self._require(fd)
+        data = yield from self.client.read(of.fh, of.pos, length)
+        advance = min(length, max(0, of.fh.size - of.pos))
+        of.pos += advance
+        return data
+
+    def write(self, fd: int, length: int, data: Optional[bytes] = None):
+        """write(2): at the fd's cursor, advancing it."""
+        of = self._require(fd)
+        yield from self.client.write(of.fh, of.pos, length, data=data)
+        of.pos += length
+        return length
+
+    def pread(self, fd: int, offset: int, length: int):
+        """pread(2): positioned read; the cursor does not move."""
+        of = self._require(fd)
+        data = yield from self.client.read(of.fh, offset, length)
+        return data
+
+    def pwrite(self, fd: int, offset: int, length: int,
+               data: Optional[bytes] = None):
+        """pwrite(2): positioned write; the cursor does not move."""
+        of = self._require(fd)
+        yield from self.client.write(of.fh, offset, length, data=data)
+        return length
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        """lseek(2) with SEEK_SET/CUR/END."""
+        of = self._require(fd)
+        if whence == SEEK_SET:
+            of.pos = offset
+        elif whence == SEEK_CUR:
+            of.pos += offset
+        elif whence == SEEK_END:
+            of.pos = of.fh.size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if of.pos < 0:
+            raise SorrentoError("EINVAL negative offset")
+        return of.pos
+
+    def fstat(self, fd: int) -> dict:
+        """fstat(2): size/version/fileid of the open file."""
+        of = self._require(fd)
+        return {"size": of.fh.size, "version": of.fh.entry["version"],
+                "fileid": of.fh.fileid}
+
+    # -- path ops --------------------------------------------------------
+    def stat(self, path: str):
+        """stat(2): the namespace entry for a path."""
+        entry = yield from self.client.stat(path)
+        return entry
+
+    def unlink(self, path: str):
+        """unlink(2): remove the file and all its replicas."""
+        entry = yield from self.client.unlink(path)
+        return entry
+
+    def mkdir(self, path: str):
+        """mkdir(2)."""
+        result = yield from self.client.mkdir(path)
+        return result
+
+    def rmdir(self, path: str):
+        """rmdir(2): directory must be empty."""
+        result = yield from self.client.rmdir(path)
+        return result
+
+    def listdir(self, path: str):
+        """Directory listing (names; subdirs end with '/')."""
+        names = yield from self.client.listdir(path)
+        return names
+
+    # -- Sorrento extensions ------------------------------------------
+    def set_policy(self, path: str, *, degree: Optional[int] = None,
+                   alpha: Optional[float] = None,
+                   placement: Optional[str] = None):
+        """Fine-tune per-file management (replication degree, placement
+        favoritism, placement policy) — the paper's functional extension."""
+        req = {"path": path}
+        if degree is not None:
+            req["degree"] = degree
+        if alpha is not None:
+            req["alpha"] = alpha
+        if placement is not None:
+            req["placement"] = placement
+        entry = yield from self.client._call_ns("ns_update_entry", req,
+                                                size=128)
+        return entry
+
+    # ------------------------------------------------------------------
+    def _require(self, fd: int) -> _OpenFile:
+        of = self._fds.get(fd)
+        if of is None:
+            raise SorrentoError(f"EBADF {fd}")
+        return of

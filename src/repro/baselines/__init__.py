@@ -1,0 +1,18 @@
+"""Baseline systems the paper compares against: NFS and PVFS.
+
+Both are architectural models, not reimplementations: they reproduce the
+structural properties the paper's evaluation exercises —
+
+* **NFS**: one kernel-space server, very low per-op overhead, page-cached
+  metadata, small wire chunks through a serialized daemon → unbeatable
+  small-file latency, but a hard single-server ceiling on throughput and
+  large I/O.
+* **PVFS**: one metadata server storing each inode as a small file on its
+  local FS (the paper's stated bottleneck) plus user-level I/O daemons
+  with 64 KB striping → slow small-file ops, scalable large I/O.
+"""
+
+from repro.baselines.nfs import NFSDeployment
+from repro.baselines.pvfs import PVFSDeployment
+
+__all__ = ["NFSDeployment", "PVFSDeployment"]

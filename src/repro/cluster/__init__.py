@@ -1,0 +1,20 @@
+"""Cluster hardware specs (paper Figure 8) and the simulated node."""
+
+from repro.cluster.node import LoadSample, Node
+from repro.cluster.spec import (
+    CLUSTER_A,
+    CLUSTER_B,
+    ClusterSpec,
+    NodeSpec,
+    small_cluster,
+)
+
+__all__ = [
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "ClusterSpec",
+    "LoadSample",
+    "Node",
+    "NodeSpec",
+    "small_cluster",
+]

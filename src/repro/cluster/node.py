@@ -1,0 +1,146 @@
+"""The simulated cluster node: CPU, storage device, NIC, and load monitor.
+
+A node is the unit of failure.  ``crash()`` kills every process spawned on
+the node and silences its NIC; the file system contents survive (the paper:
+a repaired machine "can be directly connected to the network without the
+need to reformat the partitions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.spec import NodeSpec
+from repro.network.switch import Fabric, Host
+from repro.network.transport import Endpoint
+from repro.sim import BandwidthPipe, Event, Process, Simulator
+from repro.storage import DISK_SPECS, Disk, LocalFS, Raid0
+
+#: Load-sampling interval (seconds).
+SAMPLE_INTERVAL = 1.0
+
+#: EWMA weight for new samples (the paper specifies EWMA for I/O wait).
+EWMA_ALPHA = 0.3
+
+
+@dataclass
+class LoadSample:
+    """One snapshot of a node's resource usage."""
+
+    t: float
+    cpu_util: float
+    io_wait: float
+    storage_util: float
+
+
+class Node(Host):
+    """A cluster node: CPU pipe + optional local FS + network endpoint."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, spec: NodeSpec):
+        super().__init__(sim, spec.name, rate=spec.nic_rate)
+        self.spec = spec
+        self.fabric = fabric
+        fabric.attach(self)
+        self.endpoint = Endpoint(sim, fabric, self)
+        # CPU: a FIFO pipe whose "bytes" are reference-GHz-seconds of work.
+        self.cpu_pipe = BandwidthPipe(sim, rate=spec.cpus * spec.cpu_ghz)
+        # Storage device + local FS, if this node exports storage.
+        self.device = None
+        self.fs: Optional[LocalFS] = None
+        if spec.disks:
+            disks = [Disk(sim, DISK_SPECS[d]) for d in spec.disks]
+            self.device = disks[0] if len(disks) == 1 else Raid0(sim, disks)
+            self.fs = LocalFS(sim, self.device,
+                              capacity=spec.export_capacity or None)
+        # Load bookkeeping.
+        self.cpu_util = 0.0
+        self.io_wait = 0.0
+        self._procs: List[Process] = []
+        self._last_cpu_bytes = 0
+        self._last_disk_busy = 0.0
+        self._monitor: Optional[Process] = None
+        self.start_monitor()
+
+    # -- CPU ------------------------------------------------------------
+    def cpu(self, work_s: float) -> Event:
+        """Queue ``work_s`` reference-GHz-seconds of CPU work."""
+        return self.cpu_pipe.transfer(work_s)
+
+    # -- process management ----------------------------------------------
+    def spawn(self, gen, name: str = "") -> Process:
+        """Run a process that dies with the node."""
+        proc = self.sim.process(gen, name=f"{self.hostid}:{name}")
+        self._procs.append(proc)
+        if len(self._procs) > 64:  # drop finished entries
+            self._procs = [p for p in self._procs if p.is_alive]
+        return proc
+
+    def start_monitor(self) -> None:
+        self._monitor = self.sim.process(self._monitor_loop(),
+                                         name=f"{self.hostid}:loadmon")
+
+    def _monitor_loop(self):
+        while self.alive:
+            yield self.sim.timeout(SAMPLE_INTERVAL)
+            cpu_bytes = self.cpu_pipe.bytes_transferred
+            cpu_inst = min(1.0, (cpu_bytes - self._last_cpu_bytes)
+                           / (self.cpu_pipe.rate * SAMPLE_INTERVAL))
+            self._last_cpu_bytes = cpu_bytes
+            io_inst = 0.0
+            if self.device is not None:
+                busy = self.device.busy_accum
+                io_inst = min(1.0, (busy - self._last_disk_busy) / SAMPLE_INTERVAL)
+                self._last_disk_busy = busy
+            self.cpu_util = EWMA_ALPHA * cpu_inst + (1 - EWMA_ALPHA) * self.cpu_util
+            self.io_wait = EWMA_ALPHA * io_inst + (1 - EWMA_ALPHA) * self.io_wait
+
+    # -- load reporting ---------------------------------------------------
+    @property
+    def load(self) -> float:
+        """Combined CPU + I/O-wait load in [0, 1] (the paper's ``l``)."""
+        return min(1.0, self.cpu_util + self.io_wait)
+
+    @property
+    def storage_utilization(self) -> float:
+        return self.fs.utilization if self.fs is not None else 0.0
+
+    @property
+    def storage_available(self) -> int:
+        return self.fs.available if self.fs is not None else 0
+
+    def sample(self) -> LoadSample:
+        return LoadSample(self.sim.now, self.cpu_util, self.io_wait,
+                          self.storage_utilization)
+
+    # -- failure injection --------------------------------------------
+    def crash(self, wipe: bool = False) -> None:
+        """Fail the node: NIC silent, all node processes interrupted.
+
+        Disk contents survive unless ``wipe=True`` (disk replacement).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt(cause=f"{self.hostid} crashed")
+        self._procs.clear()
+        if self._monitor is not None and self._monitor.is_alive:
+            self._monitor.interrupt(cause="crash")
+            self._monitor = None
+        if wipe and self.fs is not None:
+            self.fs.files.clear()
+            self.fs.used = 0
+
+    def restart(self) -> None:
+        """Bring the node back up (daemons must be restarted by their owners)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.cpu_util = 0.0
+        self.io_wait = 0.0
+        self._last_cpu_bytes = self.cpu_pipe.bytes_transferred
+        if self.device is not None:
+            self._last_disk_busy = self.device.busy_accum
+        self.start_monitor()

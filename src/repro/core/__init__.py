@@ -1,0 +1,42 @@
+"""Sorrento core: the paper's primary contribution.
+
+Subpackages implement Section 3 of the paper component by component (see
+Figure 2 for the dependency graph):
+
+- :mod:`repro.core.ids` — 128-bit location-independent SegIDs/FileIDs
+- :mod:`repro.core.extent` — byte-range maps (COW index structures)
+- :mod:`repro.core.layout` — Linear / Striped / Hybrid file organization
+- :mod:`repro.core.segment` — provider-side segment store with versions
+- :mod:`repro.core.membership` — multicast heartbeat membership
+- :mod:`repro.core.hashing` — consistent hashing for home hosts
+- :mod:`repro.core.location` — soft-state distributed data location
+- :mod:`repro.core.twophase` — 2PC for multi-segment commits
+- :mod:`repro.core.namespace` — the namespace server
+- :mod:`repro.core.placement` — load-aware weighted placement
+- :mod:`repro.core.migration` — adaptive data migration
+- :mod:`repro.core.locality` — locality-driven placement policy
+- :mod:`repro.core.provider` — the storage provider daemon
+- :mod:`repro.core.client` — the Sorrento client stub
+- :mod:`repro.core.volume` — deployment/bootstrap of a volume
+"""
+
+__all__ = [
+    "CommitConflict",
+    "SorrentoClient",
+    "SorrentoConfig",
+    "SorrentoDeployment",
+]
+
+
+def __getattr__(name):
+    # Lazy exports: keep `import repro.core.layout` cheap while still
+    # letting `from repro.core import SorrentoDeployment` work.
+    if name in ("SorrentoConfig", "SorrentoDeployment"):
+        from repro.core import volume
+
+        return getattr(volume, name)
+    if name in ("CommitConflict", "SorrentoClient"):
+        from repro.core import client
+
+        return getattr(client, name)
+    raise AttributeError(name)

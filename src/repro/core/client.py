@@ -1,0 +1,1093 @@
+"""The Sorrento client stub (Sections 2.3, 3.5; Figures 4–7).
+
+All methods that touch the network are generators meant to run inside sim
+processes (``yield from client.open(...)``).  The stub implements:
+
+* pathname ops against the namespace server;
+* the data path: locate segments via home hosts (with the multicast
+  backup scheme), read/write segment owners directly;
+* version-based consistency: shadow copies on write, two-phase commit
+  across shadowed segments, conflict detection at commit;
+* attached small files (≤ 60 KB ride inside the index segment);
+* the atomic-append recipe of Figure 4;
+* a versioning-off mode for applications managing their own consistency.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.hashing import HashRing
+from repro.core.ids import IdGenerator
+from repro.core.layout import Layout, make_layout
+from repro.core.membership import MembershipManager
+from repro.core.params import SorrentoParams
+from repro.core.placement import choose_provider
+from repro.core.provider import LOCATION_GROUP
+from repro.core.twophase import CommitAborted, two_phase_commit
+from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.sim import AnyOf, Event, gather
+
+_nonces = itertools.count(1)
+
+
+class SorrentoError(Exception):
+    """Client-visible failure (no owners, namespace error, ...)."""
+
+
+class CommitConflict(SorrentoError):
+    """Another writer committed first; the shadow copy was dropped."""
+
+
+def _meta_size(meta: Optional[dict]) -> int:
+    if not meta:
+        return 64
+    layout = meta.get("layout")
+    nsegs = len(layout.segments) if layout is not None else 0
+    attached = meta.get("attached_len", 0)
+    return 64 + 24 * nsegs + attached
+
+
+@dataclass
+class FileHandle:
+    """An open file session."""
+
+    path: str
+    entry: dict
+    mode: str                        # "r" or "w"
+    layout: Layout
+    attached: Optional[bytes]        # small-file payload (or None)
+    attached_len: int = 0
+    base_version: int = 0
+    index_owner: Optional[str] = None
+    shadows: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    #          segid -> (owner host, shadow version)
+    new_segments: Dict[int, str] = field(default_factory=dict)
+    #          segid -> owner host (created this session, version 1)
+    dirty: bool = False
+    closed: bool = False
+    affinity_owner: Optional[str] = None  # where this file's data grows
+
+    @property
+    def fileid(self) -> int:
+        """The file's 128-bit FileID (= the index segment's SegID)."""
+        return self.entry["fileid"]
+
+    @property
+    def size(self) -> int:
+        """Current logical file size as this session sees it."""
+        if self.layout.segments:
+            return self.layout.size
+        return self.attached_len
+
+    @property
+    def versioning(self) -> bool:
+        """False when the app manages its own consistency (§3.5)."""
+        return self.entry.get("versioning", True)
+
+
+class SorrentoClient:
+    """Client stub bound to one node and one volume."""
+
+    def __init__(self, node, ns_host, params: Optional[SorrentoParams] = None,
+                 rng: Optional[random.Random] = None,
+                 membership: Optional[MembershipManager] = None,
+                 ns_partitions: Optional[List[str]] = None):
+        self.node = node
+        self.sim = node.sim
+        # ns_host may be a single hostid or a failover list
+        # [primary, standby, ...] when namespace replication is on.
+        self.ns_hosts: List[str] = ([ns_host] if isinstance(ns_host, str)
+                                    else list(ns_host))
+        self._ns_active = 0
+        # Directory-tree partitioning (the other §3.1 scaling approach):
+        # each top-level directory hashes to one namespace server.
+        self.ns_partitions = list(ns_partitions) if ns_partitions else None
+        self.params = params or SorrentoParams()
+        self.rng = rng or random.Random(hash(node.hostid) & 0xFFFFFF)
+        self.membership = membership or MembershipManager(
+            node, interval=self.params.heartbeat_interval, announce=False
+        )
+        self.ring = HashRing(self.params.ring_vnodes)
+        self.ids = IdGenerator(node.hostid, self.rng, clock=lambda: self.sim.now)
+        self._probe_waiters: Dict[int, Event] = {}
+        if "loc_probe_hit" not in node.endpoint.handlers:
+            node.endpoint.register("loc_probe_hit", self._on_probe_hit)
+        self.stats = {"opens": 0, "reads": 0, "writes": 0, "commits": 0,
+                      "conflicts": 0, "probe_fallbacks": 0}
+
+    # ------------------------------------------------------------ helpers
+    @property
+    def ns_host(self) -> str:
+        """The namespace server currently targeted (failover-aware)."""
+        return self.ns_hosts[self._ns_active]
+
+    def _ns_for(self, payload) -> Optional[str]:
+        """Partitioned namespace routing: hash the top-level directory."""
+        if self.ns_partitions is None:
+            return None
+        path = payload if isinstance(payload, str) else payload.get("path", "")
+        top = path.split("/", 2)[1] if path.startswith("/") else path
+        import hashlib
+
+        idx = int.from_bytes(
+            hashlib.sha1(top.encode()).digest()[:4], "big"
+        ) % len(self.ns_partitions)
+        return self.ns_partitions[idx]
+
+    def _call_ns(self, service: str, payload, size: int = 64, rtts: int = 1):
+        partition = self._ns_for(payload)
+        if partition is not None:
+            try:
+                result = yield from self.node.endpoint.call(
+                    partition, service, payload, size=size,
+                    timeout=self.params.rpc_timeout, rtts=rtts,
+                )
+                return result
+            except RpcRemoteError as exc:
+                if "NamespaceError" in exc.error:
+                    raise SorrentoError(exc.error) from exc
+                raise
+        last_exc = None
+        for _attempt in range(len(self.ns_hosts)):
+            try:
+                result = yield from self.node.endpoint.call(
+                    self.ns_host, service, payload, size=size,
+                    timeout=self.params.rpc_timeout, rtts=rtts,
+                )
+                return result
+            except RpcRemoteError as exc:
+                if "NamespaceError" in exc.error:
+                    raise SorrentoError(exc.error) from exc
+                raise
+            except RpcTimeout as exc:
+                # Primary unreachable: fail over to the standby replica.
+                last_exc = exc
+                self._ns_active = (self._ns_active + 1) % len(self.ns_hosts)
+        raise SorrentoError(
+            f"namespace server unreachable: {last_exc}"
+        ) from last_exc
+
+    def _providers(self) -> List[str]:
+        return self.membership.live_providers()
+
+    def _home_of(self, segid: int) -> str:
+        providers = self._providers()
+        if not providers:
+            raise SorrentoError("no live storage providers")
+        return self.ring.home_host(segid, providers)
+
+    def _on_probe_hit(self, payload: dict, src: str) -> None:
+        ev = self._probe_waiters.get(payload["nonce"])
+        if ev is not None and not ev.triggered:
+            ev.succeed((payload["owner"], payload["version"]))
+
+    def _locate(self, segid: int, read: Optional[dict] = None):
+        """Find a segment's owners via its home host (Section 3.4.1);
+        fall back to the multicast query (Section 3.4.2) on failure."""
+        home = self._home_of(segid)
+        try:
+            resp = yield from self.node.endpoint.call(
+                home, "loc_lookup",
+                {"segid": segid, "read": read},
+                size=64, timeout=self.params.rpc_timeout,
+            )
+            if resp["owners"] or resp["inline"]:
+                return resp
+        except (RpcTimeout, RpcRemoteError):
+            pass
+        owner = yield from self._probe(segid)
+        return {"owners": [owner], "inline": None}
+
+    def _probe(self, segid: int):
+        """Backup scheme: ask everybody over multicast."""
+        self.stats["probe_fallbacks"] += 1
+        nonce = next(_nonces)
+        ev = Event(self.sim, name=f"probe:{segid:x}")
+        self._probe_waiters[nonce] = ev
+        self.node.endpoint.multicast(LOCATION_GROUP, "loc_probe",
+                                     {"segid": segid, "nonce": nonce}, size=48)
+        deadline = self.sim.timeout(self.params.rpc_timeout)
+        yield AnyOf(self.sim, [ev, deadline])
+        self._probe_waiters.pop(nonce, None)
+        if not ev.triggered or ev._callbacks is not None:
+            raise SorrentoError(f"no owner responded for segment {segid:#x}")
+        return ev.value
+
+    def _pick_owner(self, owners: List[Tuple[str, int]]) -> Tuple[str, int]:
+        """Choose among the newest-version owners at random (load spread)."""
+        if not owners:
+            raise SorrentoError("segment has no owners")
+        newest = owners[0][1]
+        best = [o for o in owners if o[1] == newest]
+        return self.rng.choice(best)
+
+    def _place_new_segment(self, segid: int, size_hint: int, alpha: float,
+                           fh: Optional["FileHandle"] = None,
+                           not_on: Optional[set] = None) -> str:
+        members = self.membership.snapshot()
+        if not_on:
+            members = {h: i for h, i in members.items() if h not in not_on}
+        if not members:
+            raise SorrentoError("no live storage providers")
+        size_hint = max(size_hint, 1)
+        # Growing *linear* files keep their data together: the next
+        # segment goes where the previous one lives (unless it ran out of
+        # room); online migration is the corrective force.  Striped and
+        # hybrid files spread on purpose — their parallelism comes from
+        # distinct owners.
+        spreads = fh is not None and fh.entry.get("mode") in ("striped",
+                                                              "hybrid")
+        if fh is not None and not spreads and fh.affinity_owner is not None \
+                and fh.affinity_owner in members:
+            prev = members.get(fh.affinity_owner)
+            if prev is not None and prev.available >= size_hint \
+                    and self.rng.random() < self.params.segment_affinity:
+                return fh.affinity_owner
+        if fh is not None and fh.entry.get("placement") == "random":
+            fitting = [h for h, i in members.items()
+                       if i.available >= size_hint]
+            if not fitting:
+                raise SorrentoError("no provider can hold the segment")
+            return self.rng.choice(sorted(fitting))
+        home = self._home_of(segid)
+        boost = 0.0
+        if self.params.home_boost_enabled \
+                and size_hint <= self.params.small_segment_bytes:
+            boost = 3.0 * len(members)
+        exclude = None
+        if spreads:
+            # Stripe mates on distinct providers, capacity permitting.
+            exclude = set(fh.new_segments.values())
+            if len(exclude) >= len(members):
+                exclude = None
+        target = choose_provider(self.rng, members, size_hint, alpha,
+                                 exclude=exclude,
+                                 home_host=home, home_boost=boost)
+        if target is None and exclude:
+            target = choose_provider(self.rng, members, size_hint, alpha,
+                                     home_host=home, home_boost=boost)
+        if target is None:
+            raise SorrentoError("no provider can hold the segment")
+        return target
+
+    def _create_segment(self, fh: FileHandle, ref, *,
+                        committed: bool = False, degree: Optional[int] = None,
+                        tries: int = 3) -> str:
+        """Create a brand-new segment on a placed provider.
+
+        If the chosen provider is unreachable (it may have died between
+        the heartbeat and now), re-place on another node — the client-side
+        half of self-organization.
+        """
+        failed: set = set()
+        last: Optional[Exception] = None
+        for _ in range(tries):
+            owner = self._place_new_segment(ref.segid, ref.max_size or 1,
+                                            fh.entry["alpha"], fh=fh,
+                                            not_on=failed)
+            try:
+                yield from self.node.endpoint.call(
+                    owner, "seg_create",
+                    {"segid": ref.segid, "version": 1,
+                     "committed": committed,
+                     "degree": (degree if degree is not None
+                                else fh.entry["degree"]),
+                     "alpha": fh.entry["alpha"],
+                     "placement": fh.entry.get("placement", "load")},
+                    size=96, timeout=self.params.rpc_timeout,
+                )
+            except RpcTimeout as exc:
+                failed.add(owner)
+                last = exc
+                continue
+            fh.new_segments[ref.segid] = owner
+            fh.affinity_owner = owner
+            return owner
+        raise SorrentoError(
+            f"cannot place segment {ref.segid:#x}: {last}"
+        ) from last
+
+    # ========================================================== namespace
+    def mkdir(self, path: str):
+        """Create a directory on the namespace server."""
+        result = yield from self._call_ns("ns_mkdir", path)
+        return result
+
+    def rmdir(self, path: str):
+        """Remove an empty directory."""
+        result = yield from self._call_ns("ns_rmdir", path)
+        return result
+
+    def listdir(self, path: str):
+        if self.ns_partitions is not None and path == "/":
+            # The root spans every partition: fan out and merge.
+            def list_on(host):
+                names = yield from self.node.endpoint.call(
+                    host, "ns_list", "/", size=64,
+                    timeout=self.params.rpc_timeout)
+                return names
+
+            parts = yield from gather(
+                self.sim, [list_on(h) for h in self.ns_partitions])
+            merged = sorted({name for names in parts for name in names})
+            return merged
+        result = yield from self._call_ns("ns_list", path)
+        return result
+
+    def stat(self, path: str):
+        """The file's namespace entry (FileID, version, policy)."""
+        result = yield from self._call_ns("ns_lookup", path)
+        return result
+
+    def create(self, path: str, *, degree: Optional[int] = None,
+               alpha: Optional[float] = None, organization: str = "linear",
+               versioning: bool = True, placement: str = "load",
+               stripe_count: int = 4, fixed_size: int = 0):
+        """Create an empty file entry (no data segments yet).
+
+        ``organization`` is the data layout mode — "linear", "striped",
+        or "hybrid" (named so because ``open()``'s own ``mode`` is the
+        r/w open mode).
+        """
+        fileid = self.ids.new_id()
+        req = {
+            "path": path, "fileid": fileid,
+            "degree": degree if degree is not None else self.params.default_degree,
+            "alpha": alpha if alpha is not None else self.params.default_alpha,
+            "mode": organization, "versioning": versioning,
+            "placement": placement,
+            "stripe_count": stripe_count, "fixed_size": fixed_size,
+        }
+        entry = yield from self._call_ns("ns_create", req, size=160)
+        return entry
+
+    # ============================================================== open
+    def open(self, path: str, mode: str = "r", create: bool = False,
+             meta_only: bool = False, version: Optional[int] = None,
+             **create_params):
+        """Open a file; "w" starts a shadow session on the latest version.
+
+        ``meta_only`` fetches just the layout from the index segment
+        (cheaper; used by unlink, which never reads file data).
+        ``version`` opens a historical (milestone) version read-only.
+        """
+        if mode not in ("r", "w"):
+            raise ValueError(f"bad mode {mode!r}")
+        if version is not None and mode != "r":
+            raise SorrentoError("historical versions are read-only")
+        self.stats["opens"] += 1
+        yield self.node.cpu(self.params.client_op_cpu)
+        try:
+            entry = yield from self._call_ns(
+                "ns_lookup", path, rtts=self.params.open_rtts)
+        except SorrentoError:
+            if not (create and mode == "w"):
+                raise
+            try:
+                entry = yield from self.create(path, **create_params)
+            except SorrentoError as exc:
+                if "EEXIST" not in str(exc):
+                    raise
+                # Lost a create race: the other writer's entry is ours too.
+                entry = yield from self._call_ns("ns_lookup", path)
+        if version is not None:
+            if not 0 < version <= entry["version"]:
+                raise SorrentoError(
+                    f"{path}: no version {version} (latest is "
+                    f"{entry['version']})"
+                )
+            entry = dict(entry)
+            entry["version"] = version
+        fh = FileHandle(path=path, entry=entry, mode=mode,
+                        layout=make_layout_for(entry),
+                        attached=None, base_version=entry["version"])
+        if entry["version"] > 0:
+            yield from self._load_index(fh, meta_only=meta_only)
+        return fh
+
+    def _load_index(self, fh: FileHandle, meta_only: bool = False) -> None:
+        """Fetch the index segment (Figure 6 step 2) and decode the layout.
+
+        The namespace's latest version is authoritative; location-table
+        announcements are asynchronous, so we insist on reading exactly
+        ``entry["version"]`` of the index segment (retrying briefly while
+        propagation is in flight) — otherwise a reopen right after a
+        commit could resurrect a stale layout and lose that commit.
+        """
+        want = fh.entry["version"]
+        meta = None
+        for attempt in range(6):
+            resp = yield from self._locate(
+                fh.fileid,
+                read={"offset": 0, "length": self.params.attach_max + 256,
+                      "meta_only": meta_only},
+            )
+            inline = resp.get("inline")
+            if inline is not None and inline["version"] == want:
+                meta = inline["meta"]
+                fh.index_owner = resp["owners"][0][0] if resp["owners"] else None
+                break
+            # The table's advertised versions may lag: try every owner for
+            # the exact version we need.
+            for owner, _v in resp["owners"]:
+                try:
+                    r = yield from self.node.endpoint.call(
+                        owner, "seg_read",
+                        {"segid": fh.fileid, "version": want, "offset": 0,
+                         "length": 0, "meta_only": meta_only},
+                        size=64, timeout=self.params.rpc_timeout,
+                    )
+                except (RpcTimeout, RpcRemoteError):
+                    continue
+                meta = r["meta"]
+                fh.index_owner = owner
+                break
+            if meta is not None:
+                break
+            yield self.sim.timeout(0.02 * (attempt + 1))
+        if meta is None:
+            raise SorrentoError(
+                f"index segment of {fh.path} v{want} unavailable"
+            )
+        fh.layout = copy.deepcopy(meta["layout"])
+        fh.attached_len = meta.get("attached_len", 0)
+        fh.attached = meta.get("attached")
+
+    # ============================================================== read
+    def read(self, fh: FileHandle, offset: int, length: int,
+             sequential: bool = False):
+        """Read a byte range; returns bytes, or None for synthetic content."""
+        self._check_open(fh)
+        self.stats["reads"] += 1
+        yield self.node.cpu(self.params.client_op_cpu)
+        end = min(offset + length, fh.size)
+        if end <= offset:
+            return b""
+        length = end - offset
+        if not fh.layout.segments:  # attached small file
+            if fh.attached is None:
+                return None
+            return fh.attached[offset:offset + length]
+        pieces = fh.layout.locate(offset, length)
+        reads = [self._read_piece(fh, seg_idx, seg_off, n, sequential)
+                 for seg_idx, seg_off, n in pieces]
+        chunks = yield from gather(self.sim, reads)
+        if any(c is None for c in chunks):
+            return None
+        return b"".join(chunks)
+
+    def _read_piece(self, fh: FileHandle, seg_idx: int, seg_off: int,
+                    length: int, sequential: bool):
+        ref = fh.layout.segments[seg_idx]
+        shadow = fh.shadows.get(ref.segid)
+        if shadow is not None:
+            owner, version = shadow
+        elif ref.segid in fh.new_segments:
+            owner, version = fh.new_segments[ref.segid], 1
+        else:
+            owner, version = None, ref.version
+        if owner is None:
+            # Read exactly the version the index names (snapshot isolation);
+            # the location table may advertise newer or older replicas.
+            resp = yield from self._locate(ref.segid)
+            owner, _have = self._pick_owner(resp["owners"])
+        try:
+            r = yield from self.node.endpoint.call(
+                owner, "seg_read",
+                {"segid": ref.segid, "version": version, "offset": seg_off,
+                 "length": length, "sequential": sequential},
+                size=64, timeout=self.params.rpc_timeout,
+            )
+        except (RpcTimeout, RpcRemoteError):
+            # Owner died or lacks the version: fall back to a fresh lookup.
+            other = yield from self._probe(ref.segid)
+            r = yield from self.node.endpoint.call(
+                other[0], "seg_read",
+                {"segid": ref.segid, "version": None, "offset": seg_off,
+                 "length": length, "sequential": sequential},
+                size=64, timeout=self.params.rpc_timeout,
+            )
+        return r["data"]
+
+    # ============================================================== write
+    def write(self, fh: FileHandle, offset: int, length: int,
+              data: Optional[bytes] = None, sequential: bool = False):
+        """Write a byte range into the session's shadow copies."""
+        self._check_open(fh)
+        if fh.mode != "w":
+            raise SorrentoError("file not open for writing")
+        if data is not None and len(data) != length:
+            raise SorrentoError("data/length mismatch")
+        self.stats["writes"] += 1
+        yield self.node.cpu(self.params.client_op_cpu)
+        if not fh.versioning:
+            yield from self._write_in_place(fh, offset, length, data, sequential)
+            return
+        fh.dirty = True
+        end = offset + length
+        # Small files stay attached to the index segment.
+        if not fh.layout.segments and end <= self.params.attach_max:
+            buf = bytearray(fh.attached if fh.attached is not None
+                            else b"\x00" * fh.attached_len)
+            if len(buf) < end:
+                buf.extend(b"\x00" * (end - len(buf)))
+            if data is not None:
+                buf[offset:end] = data
+            fh.attached = bytes(buf)
+            fh.attached_len = len(buf)
+            return
+        if not fh.layout.segments and fh.attached_len > 0:
+            yield from self._spill_attached(fh)
+        if end > fh.layout.size:
+            created = fh.layout.grow_to(end, self.ids.new_id)
+            for ref in created:
+                yield from self._create_segment(fh, ref)
+        pieces = fh.layout.locate(offset, length)
+        # Resolve each distinct segment's writable version first (serially)
+        # so the parallel piece writes below never race to create the same
+        # shadow or striped segment.
+        for seg_idx in dict.fromkeys(p[0] for p in pieces):
+            yield from self._writable_version(fh, fh.layout.segments[seg_idx])
+        writes, pos = [], 0
+        for seg_idx, seg_off, n in pieces:
+            chunk = data[pos:pos + n] if data is not None else None
+            pos += n
+            writes.append(self._write_piece(fh, seg_idx, seg_off, n, chunk,
+                                            sequential))
+        yield from gather(self.sim, writes)
+
+    def _write_piece(self, fh: FileHandle, seg_idx: int, seg_off: int,
+                     length: int, data: Optional[bytes], sequential: bool):
+        ref = fh.layout.segments[seg_idx]
+        owner, version = yield from self._writable_version(fh, ref)
+        try:
+            yield from self.node.endpoint.call(
+                owner, "seg_write",
+                {"segid": ref.segid, "version": version, "offset": seg_off,
+                 "length": length, "data": data},
+                size=64 + length, timeout=self.params.rpc_timeout,
+            )
+        except RpcTimeout as exc:
+            # The shadow's owner died mid-session: the write (and the
+            # whole session) cannot complete; the shadow TTL cleans up.
+            fh.shadows.pop(ref.segid, None)
+            raise SorrentoError(
+                f"owner of segment {ref.segid:#x} died mid-write: {exc}"
+            ) from exc
+
+    def _writable_version(self, fh: FileHandle, ref):
+        """The (owner, version) this session writes for a data segment,
+        creating the shadow copy on first touch (Figure 6 step 4)."""
+        if ref.segid in fh.new_segments:
+            return fh.new_segments[ref.segid], 1
+        shadow = fh.shadows.get(ref.segid)
+        if shadow is not None:
+            return shadow
+        if fh.base_version == 0:
+            # The file was never committed, so this segment (pre-allocated
+            # in the layout, e.g. striped mode) has no owner yet.
+            owner = yield from self._create_segment(fh, ref)
+            return owner, 1
+        resp = yield from self._locate(ref.segid)
+        owners = resp["owners"]
+        last_error: Optional[Exception] = None
+        saw_race = False
+        for owner, _v in owners or []:
+            try:
+                r = yield from self.node.endpoint.call(
+                    owner, "seg_create_shadow",
+                    {"segid": ref.segid, "base_version": ref.version},
+                    size=64, timeout=self.params.rpc_timeout,
+                )
+                fh.shadows[ref.segid] = (owner, r["version"])
+                fh.affinity_owner = owner
+                return owner, r["version"]
+            except RpcRemoteError as exc:
+                # Another writer already shadows base+1 on this owner: a
+                # write-write race surfaced early (it would conflict at
+                # commit anyway).
+                if "exists" in str(exc).lower():
+                    saw_race = True
+                last_error = exc
+            except RpcTimeout as exc:
+                last_error = exc
+        if saw_race:
+            raise CommitConflict(
+                f"segment {ref.segid:#x} already shadowed by another writer"
+            )
+        raise SorrentoError(
+            f"cannot shadow segment {ref.segid:#x}: {last_error}"
+        )
+
+    def _spill_attached(self, fh: FileHandle):
+        """An attached file outgrew 60 KB: move its bytes into a real
+        data segment before continuing."""
+        payload, n = fh.attached, fh.attached_len
+        fh.attached, fh.attached_len = None, 0
+        created = fh.layout.grow_to(n, self.ids.new_id)
+        for ref in created:
+            yield from self._create_segment(fh, ref)
+        for seg_idx, seg_off, ln in fh.layout.locate(0, n):
+            ref = fh.layout.segments[seg_idx]
+            chunk = payload[seg_off:seg_off + ln] if payload is not None else None
+            yield from self._write_piece(fh, seg_idx, seg_off, ln, chunk, True)
+
+    def truncate(self, fh: FileHandle, size: int):
+        """Pre-size a versioning-disabled file (grow only).
+
+        Shared-file users size the file up front (as BTIO declares its
+        solution size); concurrent *growth* from different clients is
+        inherently racy because each client's layout copy would mint
+        different segments for the same byte ranges.
+        """
+        self._check_open(fh)
+        if fh.versioning:
+            raise SorrentoError(
+                "truncate is for versioning-disabled files; versioned "
+                "files grow through write+commit")
+        if size < fh.layout.size:
+            raise SorrentoError("shrinking is not supported")
+        lock = self._fh_meta_lock(fh)
+        grant = lock.request()
+        yield grant
+        try:
+            yield from self._grow_in_place(fh, size)
+        finally:
+            lock.release()
+        return size
+
+    def _fh_meta_lock(self, fh: FileHandle):
+        """Per-handle mutex for layout growth: concurrent writes on one
+        handle (list-I/O) must not race to create the same segments."""
+        lock = getattr(fh, "_meta_lock", None)
+        if lock is None:
+            from repro.sim import Resource
+
+            lock = Resource(self.sim, 1)
+            fh._meta_lock = lock
+        return lock
+
+    def _write_in_place(self, fh: FileHandle, offset: int, length: int,
+                        data: Optional[bytes], sequential: bool):
+        """Versioning-disabled path: mutate committed segments directly."""
+        end = offset + length
+        lock = self._fh_meta_lock(fh)
+        grant = lock.request()
+        yield grant
+        try:
+            yield from self._grow_in_place(fh, end)
+        finally:
+            lock.release()
+        writes, pos = [], 0
+        for seg_idx, seg_off, n in fh.layout.locate(offset, length):
+            ref = fh.layout.segments[seg_idx]
+            chunk = data[pos:pos + n] if data is not None else None
+            pos += n
+            writes.append(self._unversioned_piece(fh, ref, seg_off, n, chunk,
+                                                  sequential))
+        yield from gather(self.sim, writes)
+
+    def _grow_in_place(self, fh: FileHandle, end: int):
+        if end > fh.layout.size:
+            created = fh.layout.grow_to(end, self.ids.new_id)
+            for ref in created:
+                yield from self._create_segment(fh, ref, committed=True,
+                                                degree=1)
+            # Unversioned layout changes publish immediately via the index.
+            yield from self._publish_unversioned_index(fh)
+
+    def _unversioned_piece(self, fh: FileHandle, ref, seg_off: int, n: int,
+                           data, sequential: bool):
+        if ref.segid in fh.new_segments:
+            owner = fh.new_segments[ref.segid]
+        else:
+            resp = yield from self._locate(ref.segid)
+            owner, _ = self._pick_owner(resp["owners"])
+        yield from self.node.endpoint.call(
+            owner, "seg_write",
+            {"segid": ref.segid, "version": 1, "offset": seg_off,
+             "length": n, "data": data, "in_place": True},
+            size=64 + n, timeout=self.params.rpc_timeout,
+        )
+
+    def _publish_unversioned_index(self, fh: FileHandle):
+        """Keep the unversioned file's index segment current (v1 rewrite)."""
+        meta = {"layout": copy.deepcopy(fh.layout),
+                "attached": None, "attached_len": 0}
+        if fh.index_owner is None:
+            owner = self._place_new_segment(fh.fileid, 4096, fh.entry["alpha"])
+            yield from self.node.endpoint.call(
+                owner, "seg_create",
+                {"segid": fh.fileid, "version": 1, "committed": True,
+                 "degree": 1, "alpha": fh.entry["alpha"], "meta": meta},
+                size=_meta_size(meta), timeout=self.params.rpc_timeout,
+            )
+            fh.index_owner = owner
+            if fh.entry["version"] == 0:
+                yield from self._ns_commit_cycle(fh)
+        else:
+            # Rewrite meta on the existing owner (segment stays v1).
+            yield from self.node.endpoint.call(
+                fh.index_owner, "seg_write",
+                {"segid": fh.fileid, "version": 1, "offset": 0, "length": 0,
+                 "in_place": True},
+                size=_meta_size(meta), timeout=self.params.rpc_timeout,
+            )
+            # Owner-side meta update rides on the same call in the real
+            # system; emulate by a direct state poke through seg_commit.
+            yield from self.node.endpoint.call(
+                fh.index_owner, "seg_commit",
+                {"segid": fh.fileid, "version": 1, "meta": meta},
+                size=_meta_size(meta), timeout=self.params.rpc_timeout,
+            )
+
+    def _ns_commit_cycle(self, fh: FileHandle):
+        """Advance the namespace version 0 -> 1 for unversioned files."""
+        resp = yield from self._call_ns(
+            "ns_begin_commit", {"path": fh.path, "base_version": 0}, size=96)
+        if resp["status"] != "ok":
+            raise CommitConflict(f"{fh.path}: {resp['status']}")
+        entry = yield from self._call_ns(
+            "ns_complete_commit", {"path": fh.path, "new_version": 1}, size=96)
+        fh.entry = entry
+        fh.base_version = 1
+
+    # ========================================================= milestones
+    def mark_milestone(self, path: str, version: Optional[int] = None):
+        """Make a version permanent: it survives consolidation and stays
+        readable via ``open(path, version=...)`` forever.
+
+        Records the milestone at the namespace server, then pins the
+        index segment and every data-segment version that file version
+        references, on every owner.
+        """
+        entry = yield from self._call_ns(
+            "ns_mark_milestone", {"path": path, "version": version},
+            size=96)
+        want = version or entry["version"]
+        fh = yield from self.open(path, "r", meta_only=True, version=want)
+        pins = [(fh.fileid, want)] + [
+            (ref.segid, ref.version) for ref in fh.layout.segments
+        ]
+
+        def pin_everywhere(segid, v):
+            try:
+                resp = yield from self._locate(segid)
+            except SorrentoError:
+                return
+            for host, _hv in resp["owners"]:
+                try:
+                    yield from self.node.endpoint.call(
+                        host, "seg_pin", {"segid": segid, "version": v},
+                        size=48, timeout=self.params.rpc_timeout)
+                except (RpcTimeout, RpcRemoteError):
+                    continue
+
+        yield from gather(self.sim, [pin_everywhere(s, v) for s, v in pins])
+        return entry
+
+    # ============================================================ leases
+    def acquire_lease(self, path: str, duration: float = 30.0):
+        """Write-lock lease: cooperative writers avoid commit conflicts
+        by holding the lease across their session (Section 3.5)."""
+        resp = yield from self._call_ns(
+            "ns_acquire_lease", {"path": path, "duration": duration},
+            size=96)
+        return resp["status"] == "ok"
+
+    def release_lease(self, path: str):
+        """Release a previously-acquired write-lock lease."""
+        result = yield from self._call_ns("ns_release_lease", {"path": path})
+        return result
+
+    # ========================================================= commit/close
+    def commit(self, fh: FileHandle, close: bool = False,
+               synchronous: bool = False):
+        """Commit the session's shadow copies as the next file version.
+
+        Figure 6 steps (6)-(9): shadow the index segment, get namespace
+        approval, 2PC all shadows, then complete the version commit.
+        Raises :class:`CommitConflict` if another writer got there first.
+        """
+        self._check_open(fh)
+        if not fh.versioning:
+            return fh.entry["version"]
+        if not fh.dirty and fh.base_version > 0:
+            return fh.entry["version"]
+        self.stats["commits"] += 1
+        new_version = fh.base_version + 1
+        meta = {"layout": self._committed_layout(fh),
+                "attached": fh.attached, "attached_len": fh.attached_len}
+        # (6) shadow (or create) the index segment.
+        try:
+            index_owner, index_version = yield from self._prepare_index(fh)
+        except RpcTimeout as exc:
+            raise SorrentoError(
+                f"{fh.path}: index segment owner unreachable: {exc}"
+            ) from exc
+        # (7) namespace approval, with bounded retry while "busy".
+        for attempt in range(20):
+            resp = yield from self._call_ns(
+                "ns_begin_commit",
+                {"path": fh.path, "base_version": fh.base_version}, size=96)
+            status = resp["status"]
+            if status == "ok":
+                break
+            if status in ("conflict", "lease_held"):
+                yield from self._abort_shadows(fh, index_owner, index_version)
+                self.stats["conflicts"] += 1
+                raise CommitConflict(f"{fh.path}: {status}")
+            yield self.sim.timeout(0.005 * (attempt + 1))
+        else:
+            yield from self._abort_shadows(fh, index_owner, index_version)
+            raise SorrentoError(f"{fh.path}: commit grant starved")
+        # (8) 2PC across every shadowed/new segment + the index shadow.
+        participants = [
+            (owner, {"segid": segid, "version": version})
+            for segid, (owner, version) in fh.shadows.items()
+        ] + [
+            (owner, {"segid": segid, "version": 1})
+            for segid, owner in fh.new_segments.items()
+        ] + [
+            (index_owner, {"segid": fh.fileid, "version": index_version,
+                           "meta": meta}),
+        ]
+        try:
+            yield from two_phase_commit(self.node.endpoint, participants,
+                                        timeout=self.params.rpc_timeout)
+        except CommitAborted as exc:
+            yield from self._call_ns("ns_abort_commit", {"path": fh.path})
+            raise SorrentoError(f"{fh.path}: 2PC failed: {exc}") from exc
+        # (9) complete the version commit.
+        entry = yield from self._call_ns(
+            "ns_complete_commit",
+            {"path": fh.path, "new_version": new_version}, size=96,
+            rtts=self.params.close_rtts if close else 1,
+        )
+        fh.entry = entry
+        fh.base_version = new_version
+        fh.index_owner = index_owner
+        committed = dict(fh.shadows)
+        for segid, (_owner, version) in fh.shadows.items():
+            for ref in fh.layout.segments:
+                if ref.segid == segid:
+                    ref.version = version
+        fh.shadows.clear()
+        fh.new_segments.clear()
+        fh.dirty = False
+        if synchronous:
+            # Section 3.6's synchronous-commitment option: "detect version
+            # discrepancies among [the replicas], and push changes to
+            # older replicas before it returns".
+            yield from self._sync_replicas(
+                list(committed.items()) + [(fh.fileid, (index_owner,
+                                                        index_version))])
+        return new_version
+
+    def _sync_replicas(self, committed):
+        def sync_one(segid, owner, version):
+            try:
+                resp = yield from self._locate(segid)
+            except SorrentoError:
+                return
+            stale = [h for h, v in resp["owners"]
+                     if v < version and h != owner]
+            for host in stale:
+                try:
+                    yield from self.node.endpoint.call(host, "seg_sync", {
+                        "segid": segid, "version": version, "from": owner,
+                    }, size=48, timeout=self.params.rpc_timeout)
+                except (RpcTimeout, RpcRemoteError):
+                    continue
+
+        yield from gather(self.sim, [
+            sync_one(segid, owner, version)
+            for segid, (owner, version) in committed
+        ])
+
+    def _committed_layout(self, fh: FileHandle) -> Layout:
+        layout = copy.deepcopy(fh.layout)
+        for ref in layout.segments:
+            shadow = fh.shadows.get(ref.segid)
+            if shadow is not None:
+                ref.version = shadow[1]
+            elif ref.segid in fh.new_segments:
+                ref.version = 1
+        return layout
+
+    def _prepare_index(self, fh: FileHandle):
+        if fh.base_version == 0:
+            # First commit: the index segment does not exist yet.
+            owner = self._place_new_segment(fh.fileid, 4096, fh.entry["alpha"])
+            try:
+                yield from self.node.endpoint.call(
+                    owner, "seg_create",
+                    {"segid": fh.fileid, "version": 1,
+                     "degree": fh.entry["degree"], "alpha": fh.entry["alpha"],
+                     "placement": fh.entry.get("placement", "load")},
+                    size=96, timeout=self.params.rpc_timeout,
+                )
+            except RpcRemoteError as exc:
+                if "exists" in str(exc).lower():
+                    raise CommitConflict(
+                        f"{fh.path}: concurrent first commit"
+                    ) from exc
+                raise
+            return owner, 1
+        owner = fh.index_owner
+        if owner is None:
+            resp = yield from self._locate(fh.fileid)
+            owner, _ = self._pick_owner(resp["owners"])
+        try:
+            r = yield from self.node.endpoint.call(
+                owner, "seg_create_shadow",
+                {"segid": fh.fileid, "base_version": fh.base_version},
+                size=64, timeout=self.params.rpc_timeout,
+            )
+        except RpcRemoteError as exc:
+            if "exists" in str(exc).lower() or "no committed base" in str(exc):
+                # Our base version is stale (someone committed past us) or
+                # another writer already shadows it: a commit conflict.
+                yield from self._abort_shadows(fh, owner, fh.base_version + 1)
+                self.stats["conflicts"] += 1
+                raise CommitConflict(f"{fh.path}: index already advanced") from exc
+            raise
+        return owner, r["version"]
+
+    def _abort_shadows(self, fh: FileHandle, index_owner: str,
+                       index_version: int):
+        aborts = [
+            self.node.endpoint.call(owner, "seg_abort",
+                                    {"segid": segid, "version": version},
+                                    size=48, timeout=self.params.rpc_timeout)
+            for segid, (owner, version) in fh.shadows.items()
+        ]
+        aborts.append(
+            self.node.endpoint.call(index_owner, "seg_abort",
+                                    {"segid": fh.fileid,
+                                     "version": index_version},
+                                    size=48, timeout=self.params.rpc_timeout)
+        )
+
+        def safe(gen):
+            try:
+                yield from gen
+            except (RpcTimeout, RpcRemoteError):
+                pass
+
+        yield from gather(self.sim, [safe(a) for a in aborts])
+        fh.shadows.clear()
+        fh.dirty = False
+
+    def close(self, fh: FileHandle, synchronous: bool = False):
+        """Close = implicit commit (Section 3.5).
+
+        ``synchronous=True`` selects the paper's synchronous-commitment
+        option: replicas are pushed current before close returns.
+        """
+        if fh.closed:
+            return fh.entry["version"]
+        try:
+            if fh.mode == "w" and fh.versioning \
+                    and (fh.dirty or fh.base_version == 0):
+                # Closing a brand-new file commits version 1 even when
+                # empty: the file must exist durably after create+close.
+                version = yield from self.commit(fh, close=True,
+                                                 synchronous=synchronous)
+            else:
+                version = fh.entry["version"]
+        finally:
+            fh.closed = True
+        return version
+
+    def drop(self, fh: FileHandle):
+        """Abandon the session's shadow copies without committing."""
+        if fh.dirty:
+            index_owner = fh.index_owner or self.ns_host
+            yield from self._abort_shadows(fh, index_owner, fh.base_version + 1)
+        fh.closed = True
+
+    # ============================================================== unlink
+    def unlink(self, path: str):
+        """Remove a file, eagerly deleting every replica of its segments.
+
+        Replicas of one segment are deleted in turn (this is what makes
+        unlink response time grow with the replication degree, Figure 9);
+        distinct segments go in parallel.
+        """
+        yield self.node.cpu(self.params.client_op_cpu)
+        fh = yield from self.open(path, "r", meta_only=True)
+        entry = yield from self._call_ns("ns_unlink", path)
+        segids = [ref.segid for ref in fh.layout.segments] + [entry["fileid"]]
+        deletions = [self._delete_everywhere(segid) for segid in segids]
+        yield from gather(self.sim, deletions)
+        return entry
+
+    def _delete_everywhere(self, segid: int):
+        try:
+            resp = yield from self._locate(segid)
+        except SorrentoError:
+            return
+        owners = {h for h, _ in resp["owners"]}
+        for host in sorted(owners):
+            try:
+                yield from self.node.endpoint.call(
+                    host, "seg_delete", {"segid": segid}, size=48,
+                    timeout=self.params.rpc_timeout)
+            except (RpcTimeout, RpcRemoteError):
+                pass
+
+    # ======================================================= atomic append
+    def atomic_append(self, path: str, length: int,
+                      data: Optional[bytes] = None, create: bool = True,
+                      **create_params):
+        """Figure 4: optimistic append, retrying on commit conflicts."""
+        while True:
+            fh = yield from self.open(path, "w", create=create,
+                                      **create_params)
+            try:
+                yield from self.write(fh, fh.size, length, data=data,
+                                      sequential=True)
+                version = yield from self.close(fh)
+                return version
+            except CommitConflict:
+                yield from self.drop(fh)
+                # Randomized backoff keeps racing appenders from livelock.
+                yield self.sim.timeout(self.rng.uniform(0.002, 0.02))
+                continue
+
+    # ------------------------------------------------------------- misc
+    @staticmethod
+    def _check_open(fh: FileHandle) -> None:
+        if fh.closed:
+            raise SorrentoError(f"{fh.path}: handle is closed")
+
+
+def make_layout_for(entry: dict) -> Layout:
+    """An empty layout matching the entry's declared organization mode."""
+    mode = entry.get("mode", "linear")
+    if mode == "linear":
+        return make_layout("linear", lambda: 0)
+    if mode == "striped":
+        return make_layout("striped", _EntryIds(entry).new_id,
+                           stripe_count=entry.get("stripe_count", 4),
+                           fixed_size=entry.get("fixed_size", 0))
+    return make_layout("hybrid", lambda: 0,
+                       stripe_count=entry.get("stripe_count", 4))
+
+
+class _EntryIds:
+    """Deterministic SegIDs for striped files' up-front segments."""
+
+    def __init__(self, entry: dict):
+        self._base = entry["fileid"]
+        self._n = 0
+
+    def new_id(self) -> int:
+        self._n += 1
+        return (self._base + self._n) & ((1 << 128) - 1)

@@ -1,0 +1,142 @@
+"""Byte-range (extent) maps.
+
+Sorrento's copy-on-write uses "an index structure to maintain the mapping
+from region ranges to physical segments where the valid data for the
+shadow copy can be located" (Section 3.5).  :class:`RangeMap` is that
+structure: a sorted list of disjoint half-open intervals carrying an
+arbitrary value (a segment version reference, or literal bytes in
+content-verifying tests).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+Span = Tuple[int, int, Any]  # (start, end, value); end exclusive
+
+
+class RangeMap:
+    """Disjoint half-open byte intervals → values.
+
+    ``set_range`` overwrites any overlapped portion of existing intervals;
+    adjacent intervals with equal values coalesce.
+    """
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._spans: List[Span] = []
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte (0 if empty)."""
+        return self._spans[-1][1] if self._spans else 0
+
+    def covered_bytes(self) -> int:
+        return sum(e - s for s, e, _ in self._spans)
+
+    # -- mutation ---------------------------------------------------------
+    def set_range(self, start: int, end: int, value: Any) -> None:
+        """Map [start, end) to ``value``, splitting/overwriting overlaps."""
+        if start >= end:
+            raise ValueError(f"empty range [{start}, {end})")
+        new_spans: List[Span] = []
+        for s, e, v in self._spans:
+            if e <= start or s >= end:
+                new_spans.append((s, e, v))
+                continue
+            if s < start:
+                new_spans.append((s, start, v))
+            if e > end:
+                new_spans.append((end, e, v))
+        new_spans.append((start, end, value))
+        new_spans.sort(key=lambda sp: sp[0])
+        self._spans = _coalesce(new_spans)
+        self._starts = [s for s, _, _ in self._spans]
+
+    def clear_range(self, start: int, end: int) -> None:
+        """Unmap [start, end)."""
+        if start >= end:
+            return
+        out: List[Span] = []
+        for s, e, v in self._spans:
+            if e <= start or s >= end:
+                out.append((s, e, v))
+                continue
+            if s < start:
+                out.append((s, start, v))
+            if e > end:
+                out.append((end, e, v))
+        self._spans = out
+        self._starts = [s for s, _, _ in self._spans]
+
+    def truncate(self, size: int) -> None:
+        """Drop everything at or beyond ``size``."""
+        self.clear_range(size, max(size, self.end))
+
+    # -- queries ------------------------------------------------------------
+    def slices(self, start: int, end: int) -> List[Span]:
+        """Cover [start, end) with spans; unmapped gaps have value None."""
+        if start >= end:
+            return []
+        out: List[Span] = []
+        pos = start
+        i = bisect.bisect_right(self._starts, start) - 1
+        if i < 0:
+            i = 0
+        for s, e, v in self._spans[i:]:
+            if e <= pos:
+                continue
+            if s >= end:
+                break
+            if s > pos:
+                out.append((pos, s, None))
+                pos = s
+            take_end = min(e, end)
+            out.append((pos, take_end, v))
+            pos = take_end
+            if pos >= end:
+                break
+        if pos < end:
+            out.append((pos, end, None))
+        return out
+
+    def value_at(self, offset: int) -> Optional[Any]:
+        i = bisect.bisect_right(self._starts, offset) - 1
+        if i >= 0:
+            s, e, v = self._spans[i]
+            if s <= offset < e:
+                return v
+        return None
+
+    def gaps(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Unmapped sub-ranges of [start, end)."""
+        return [(s, e) for s, e, v in self.slices(start, end) if v is None]
+
+    def check_invariants(self) -> None:
+        prev_end = None
+        prev_val = object()
+        for s, e, v in self._spans:
+            assert s < e, "empty span"
+            if prev_end is not None:
+                assert s >= prev_end, "overlapping spans"
+                if s == prev_end:
+                    assert v != prev_val, "uncoalesced adjacent equal spans"
+            prev_end, prev_val = e, v
+        assert self._starts == [s for s, _, _ in self._spans]
+
+
+def _coalesce(spans: List[Span]) -> List[Span]:
+    out: List[Span] = []
+    for s, e, v in spans:
+        if out and out[-1][1] == s and out[-1][2] == v:
+            out[-1] = (out[-1][0], e, v)
+        else:
+            out.append((s, e, v))
+    return out

@@ -1,0 +1,64 @@
+"""Consistent hashing for SegID → home-host mapping (Section 3.4.1).
+
+Unlike Chord's log-N hop lookup, every Sorrento client holds the complete
+provider view (from membership) and computes the home host directly.  We
+use the classic ring-with-virtual-nodes construction [Karger et al. 27].
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(hashlib.sha1(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Maps 128-bit SegIDs to a home host among the live providers.
+
+    Rings are cached per membership set, so the common case (stable
+    membership) costs one dict hit + one bisect.
+    """
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._cache: Dict[FrozenSet[str], Tuple[List[int], List[str]]] = {}
+
+    def _ring_for(self, members: FrozenSet[str]) -> Tuple[List[int], List[str]]:
+        ring = self._cache.get(members)
+        if ring is None:
+            points: List[Tuple[int, str]] = []
+            for host in members:
+                for i in range(self.vnodes):
+                    points.append((_point(f"{host}#{i}"), host))
+            points.sort()
+            ring = ([p for p, _ in points], [h for _, h in points])
+            if len(self._cache) > 256:
+                self._cache.clear()
+            self._cache[members] = ring
+        return ring
+
+    def home_host(self, segid: int, members: Sequence[str]) -> str:
+        """The provider responsible for tracking ``segid``'s owners."""
+        memberset = frozenset(members)
+        if not memberset:
+            raise ValueError("no live providers")
+        points, hosts = self._ring_for(memberset)
+        key = int.from_bytes(
+            hashlib.sha1(segid.to_bytes(16, "big")).digest()[:8], "big"
+        )
+        i = bisect.bisect_right(points, key)
+        if i == len(points):
+            i = 0
+        return hosts[i]
+
+    def hosts_for(self, segids, members: Sequence[str]) -> Dict[int, str]:
+        """Batch mapping (used by the periodic refresh cycle)."""
+        return {s: self.home_host(s, members) for s in segids}

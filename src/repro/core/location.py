@@ -1,0 +1,154 @@
+"""The home-host location table: soft state mapping SegIDs to owners.
+
+Section 3.4.1: each provider, as a *home host*, tracks which providers
+(*owners*) store each of the segments hashed to it.  Entries are refreshed
+periodically (content refreshing), updated eagerly on segment create /
+delete / version change, adjusted on membership events, and purged by age
+when a ring change moves a SegID's home elsewhere.
+
+This module is the pure data structure; the surrounding protocol lives in
+:mod:`repro.core.provider`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class OwnerRecord:
+    """One owner's claim on a segment."""
+
+    version: int
+    degree: int          # desired replication degree for the segment
+    size: int
+    last_refresh: float
+
+
+class LocationTable:
+    """SegID → {owner → OwnerRecord} with age-based garbage collection."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Dict[str, OwnerRecord]] = {}
+        self._first_seen: Dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, segid: int) -> bool:
+        return segid in self._entries
+
+    def segids(self) -> List[int]:
+        return list(self._entries)
+
+    # -- updates ------------------------------------------------------------
+    def update(self, segid: int, owner: str, version: int, degree: int,
+               size: int, now: float) -> None:
+        """Insert or refresh one owner's record."""
+        owners = self._entries.setdefault(segid, {})
+        self._first_seen.setdefault(segid, now)
+        rec = owners.get(owner)
+        if rec is None or version >= rec.version:
+            owners[owner] = OwnerRecord(version, degree, size, now)
+        else:
+            rec.last_refresh = now  # stale announce still proves liveness
+
+    def remove(self, segid: int, owner: str) -> None:
+        """Drop one owner's record (segment deleted or migrated away)."""
+        owners = self._entries.get(segid)
+        if owners is None:
+            return
+        owners.pop(owner, None)
+        if not owners:
+            del self._entries[segid]
+            self._first_seen.pop(segid, None)
+
+    def drop_owner(self, hostid: str) -> List[int]:
+        """Node departure: purge every record owned by ``hostid``.
+
+        Returns the SegIDs affected (the provider re-checks their
+        replication degree afterwards).
+        """
+        affected = []
+        for segid in list(self._entries):
+            owners = self._entries[segid]
+            if hostid in owners:
+                del owners[hostid]
+                affected.append(segid)
+                if not owners:
+                    del self._entries[segid]
+                    self._first_seen.pop(segid, None)
+        return affected
+
+    # -- queries ------------------------------------------------------------
+    def age(self, segid: int, now: float) -> float:
+        """How long this home host has known about the segment.
+
+        Degree repair must wait for the entry to mature: right after a
+        home-host reassignment the table sees owners trickle in one
+        refresh at a time, and acting on that partial view would spawn
+        spurious replicas.
+        """
+        first = self._first_seen.get(segid)
+        return now - first if first is not None else 0.0
+
+    def lookup(self, segid: int) -> List[Tuple[str, int]]:
+        """Owners of a segment as (hostid, version), newest first."""
+        owners = self._entries.get(segid, {})
+        return sorted(
+            ((h, rec.version) for h, rec in owners.items()),
+            key=lambda p: -p[1],
+        )
+
+    def record(self, segid: int, owner: str) -> Optional[OwnerRecord]:
+        return self._entries.get(segid, {}).get(owner)
+
+    def latest_version(self, segid: int) -> Optional[int]:
+        owners = self._entries.get(segid)
+        if not owners:
+            return None
+        return max(rec.version for rec in owners.values())
+
+    def discrepancies(self, segid: int) -> Tuple[int, List[str], List[str]]:
+        """(latest version, up-to-date owners, stale owners) for a segment.
+
+        The home host uses this on every insert/refresh to drive lazy
+        update propagation (Section 3.6).
+        """
+        owners = self._entries.get(segid, {})
+        if not owners:
+            return 0, [], []
+        latest = max(rec.version for rec in owners.values())
+        current = [h for h, rec in owners.items() if rec.version == latest]
+        stale = [h for h, rec in owners.items() if rec.version < latest]
+        return latest, current, stale
+
+    def under_replicated(self, segid: int) -> int:
+        """How many replicas short of the desired degree (0 if satisfied)."""
+        owners = self._entries.get(segid, {})
+        if not owners:
+            return 0
+        latest, current, _stale = self.discrepancies(segid)
+        degree = max(rec.degree for rec in owners.values())
+        return max(0, degree - len(owners))
+
+    # -- garbage collection -------------------------------------------------
+    def purge(self, now: float, max_age: float) -> int:
+        """Remove records not refreshed within ``max_age``; returns count.
+
+        "Since valid entries will be refreshed periodically while garbage
+        entries will never be refreshed, the latter can be identified
+        based on their ages and eventually be purged."
+        """
+        purged = 0
+        for segid in list(self._entries):
+            owners = self._entries[segid]
+            for host in list(owners):
+                if owners[host].last_refresh < now - max_age:
+                    del owners[host]
+                    purged += 1
+            if not owners:
+                del self._entries[segid]
+                self._first_seen.pop(segid, None)
+        return purged

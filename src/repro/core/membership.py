@@ -1,0 +1,119 @@
+"""Membership management and load monitoring (Section 3.3).
+
+All storage providers periodically announce heartbeats on a multicast
+channel; every node's membership manager builds the live-provider set as
+*soft state* from the same channel.  A provider missing for five
+announcement intervals is removed.  Heartbeats piggyback the load and
+storage-availability information that the placement policy consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+HEARTBEAT_GROUP = "sorrento-hb"
+
+#: Default announcement interval (seconds).
+DEFAULT_INTERVAL = 1.0
+
+#: Missed-interval multiplier before a provider is declared dead.
+DEATH_FACTOR = 5
+
+#: Wire size of one heartbeat packet.
+HEARTBEAT_BYTES = 96
+
+
+@dataclass
+class ProviderInfo:
+    """Soft state about one live storage provider."""
+
+    hostid: str
+    load: float = 0.0             # combined CPU + I/O-wait load, [0, 1]
+    io_wait: float = 0.0          # EWMA I/O wait (migration trigger input)
+    available: int = 0            # free bytes
+    utilization: float = 0.0      # consumed-space fraction
+    rack: str = ""                # failure domain (rack-aware placement)
+    last_seen: float = 0.0
+
+
+class MembershipManager:
+    """Runs on every cluster node; providers also announce."""
+
+    def __init__(self, node, interval: float = DEFAULT_INTERVAL,
+                 announce: bool = False):
+        self.node = node
+        self.sim = node.sim
+        self.interval = interval
+        self.members: Dict[str, ProviderInfo] = {}
+        self.on_join: List[Callable[[str], None]] = []
+        self.on_leave: List[Callable[[str], None]] = []
+        self.announce = announce
+        node.endpoint.subscribe(HEARTBEAT_GROUP)
+        node.endpoint.register("heartbeat", self._on_heartbeat)
+        self.start()
+
+    def start(self) -> None:
+        """(Re)spawn the manager's loops — also used after a node restart."""
+        self.node.spawn(self._check_loop(), name="member-check")
+        if self.announce:
+            self.node.spawn(self._announce_loop(), name="hb-announce")
+            # A provider is immediately a member of its own view.
+            self._observe(self._self_info())
+
+    # -- views ------------------------------------------------------------
+    def live_providers(self) -> List[str]:
+        return sorted(self.members)
+
+    def info(self, hostid: str) -> Optional[ProviderInfo]:
+        return self.members.get(hostid)
+
+    def snapshot(self) -> Dict[str, ProviderInfo]:
+        """A stable copy of the current membership view."""
+        return {h: replace(i) for h, i in self.members.items()}
+
+    def __contains__(self, hostid: str) -> bool:
+        return hostid in self.members
+
+    # -- announcement -------------------------------------------------
+    def _self_info(self) -> ProviderInfo:
+        return ProviderInfo(
+            hostid=self.node.hostid,
+            load=self.node.load,
+            io_wait=self.node.io_wait,
+            available=self.node.storage_available,
+            utilization=self.node.storage_utilization,
+            rack=getattr(self.node.spec, "rack", ""),
+            last_seen=self.sim.now,
+        )
+
+    def _announce_loop(self):
+        while True:
+            info = self._self_info()
+            self._observe(info)  # keep self fresh in the local view
+            self.node.endpoint.multicast(
+                HEARTBEAT_GROUP, "heartbeat", info, size=HEARTBEAT_BYTES
+            )
+            yield self.sim.timeout(self.interval)
+
+    # -- reception ----------------------------------------------------------
+    def _on_heartbeat(self, info: ProviderInfo, src: str) -> None:
+        arrived = replace(info, last_seen=self.sim.now)
+        self._observe(arrived)
+
+    def _observe(self, info: ProviderInfo) -> None:
+        is_new = info.hostid not in self.members
+        self.members[info.hostid] = info
+        if is_new:
+            for cb in list(self.on_join):
+                cb(info.hostid)
+
+    def _check_loop(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            deadline = self.sim.now - DEATH_FACTOR * self.interval
+            dead = [h for h, i in self.members.items() if i.last_seen < deadline]
+            for hostid in dead:
+                del self.members[hostid]
+                for cb in list(self.on_leave):
+                    cb(hostid)

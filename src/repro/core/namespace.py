@@ -1,0 +1,390 @@
+"""The namespace server (Sections 3.1 and 3.5).
+
+One daemon per volume.  It maps pathnames to file entries — the Sorrento
+inode: a 128-bit FileID (= the index segment's SegID), the file's latest
+version, and timestamps — and arbitrates version commits.  It deliberately
+does **not** track where data segments live; that is the distributed
+location scheme's job, which keeps this server small and fast ("a single
+namespace server is able to handle 1300 namespace operations per second").
+
+The directory tree lives in the embedded KV store (the paper used
+Berkeley DB) with write-ahead logging, group commit, and periodic
+checkpoints for recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.params import SorrentoParams
+from repro.kvstore import KVStore
+from repro.sim import Event, Store
+
+ROOT = "/"
+
+
+class NamespaceError(Exception):
+    """Client-visible namespace failures (ENOENT, EEXIST, conflict...)."""
+
+
+@dataclass
+class FileEntry:
+    """The Sorrento 'inode' kept per file (Section 3.1)."""
+
+    path: str
+    fileid: int
+    version: int = 0          # 0 = created but never committed
+    ctime: float = 0.0
+    mtime: float = 0.0
+    degree: int = 1           # replication degree (per-file, Section 3.6)
+    alpha: float = 0.5        # placement favoritism (per-file, Section 3.7)
+    mode: str = "linear"      # data organization mode
+    versioning: bool = True   # False = application manages consistency
+    placement: str = "load"   # "load" | "locality" | "random"
+    stripe_count: int = 4     # striped/hybrid segment (group) width
+    fixed_size: int = 0       # striped: declared max file size
+    milestones: tuple = ()    # versions never consolidated (Elephant-like)
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @staticmethod
+    def from_dict(d: dict) -> "FileEntry":
+        return FileEntry(**d)
+
+
+@dataclass
+class _CommitGrant:
+    fileid: int
+    holder: str
+    base_version: int
+    expires_at: float
+
+
+@dataclass
+class _Lease:
+    holder: str
+    expires_at: float
+
+
+def _dir_key(path: str) -> str:
+    return "d:" + path
+
+
+def _file_key(path: str) -> str:
+    return "f:" + path
+
+
+def _parent(path: str) -> str:
+    if path == ROOT:
+        return ROOT
+    head, _, _ = path.rpartition("/")
+    return head or ROOT
+
+
+class NamespaceServer:
+    """RPC daemon: directory tree + version arbitration for one volume."""
+
+    SERVICES = (
+        "ns_lookup", "ns_create", "ns_unlink", "ns_mkdir", "ns_rmdir",
+        "ns_list", "ns_begin_commit", "ns_complete_commit",
+        "ns_abort_commit", "ns_acquire_lease", "ns_release_lease",
+        "ns_update_entry", "ns_mark_milestone",
+    )
+
+    def __init__(self, node, volume: str, params: Optional[SorrentoParams] = None):
+        self.node = node
+        self.sim = node.sim
+        self.volume = volume
+        self.params = params or SorrentoParams()
+        self.db = KVStore()
+        self.db.put(_dir_key(ROOT), {"ctime": self.sim.now})
+        self._grants: Dict[int, _CommitGrant] = {}
+        self._leases: Dict[int, _Lease] = {}
+        self._flush_queue = Store(self.sim)
+        self.ops_served = 0
+        self.standby: Optional[str] = None    # hostid of the WAL-shipping
+        #                                       target (replication ext.)
+        self._ship_seq = 0
+        for svc in self.SERVICES:
+            node.endpoint.register(svc, getattr(self, "_h_" + svc[3:]))
+        node.endpoint.register("nsr_apply", self._h_nsr_apply)
+        node.spawn(self._flusher_loop(), name="ns-wal-flush")
+        node.spawn(self._checkpoint_loop(), name="ns-checkpoint")
+
+    # ------------------------------------------------- replication (ext.)
+    def attach_standby(self, hostid: str) -> None:
+        """Ship every mutation batch to a hot-standby namespace server —
+        the replication extension Section 3.1 points at.  The standby
+        serves lookups/commits if the primary dies (volatile grant/lease
+        state is lost; grants simply expire)."""
+        self.standby = hostid
+
+    def _put(self, key, value) -> None:
+        self.db.put(key, value)
+        self._ship("put", key, value)
+
+    def _delete(self, key) -> None:
+        self.db.delete(key)
+        self._ship("del", key, None)
+
+    def _ship(self, op: str, key, value) -> None:
+        if self.standby is None:
+            return
+        self._ship_seq += 1
+        self.node.endpoint.send(self.standby, "nsr_apply", {
+            "seq": self._ship_seq, "op": op, "key": key, "value": value,
+        }, size=96 + (len(key) if isinstance(key, str) else 16))
+
+    def _h_nsr_apply(self, rec: dict, src: str) -> None:
+        """Standby side: apply one shipped mutation."""
+        if rec["op"] == "put":
+            value = rec["value"]
+            self.db.put(rec["key"],
+                        dict(value) if isinstance(value, dict) else value)
+        else:
+            self.db.delete(rec["key"])
+
+    # ------------------------------------------------------------------
+    # Durability plumbing: mutations wait for the next WAL group flush,
+    # reads only pay CPU (the tree is memory-resident, as with BDB cache).
+    # ------------------------------------------------------------------
+    def _charge_cpu(self):
+        self.ops_served += 1
+        yield self.node.cpu(self.params.ns_op_cpu)
+
+    def _durable(self):
+        """Wait until the current WAL batch hits the disk (group commit)."""
+        ev = Event(self.sim, name="wal-flush")
+        self._flush_queue.put(ev)
+        yield ev
+
+    def _flusher_loop(self):
+        while True:
+            first = yield self._flush_queue.get()
+            waiters = [first]
+            while len(self._flush_queue):
+                waiters.append((yield self._flush_queue.get()))
+            # One WAL write commits the whole batch.
+            yield self.node.fs.device.io(4096 + 512 * len(waiters))
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+
+    def _checkpoint_loop(self):
+        while True:
+            yield self.sim.timeout(self.params.ns_checkpoint_interval)
+            nbytes = self.db.checkpoint()
+            yield self.node.fs.device.io(max(4096, nbytes), sequential=True)
+
+    # ------------------------------------------------------- handlers
+    def _h_lookup(self, path: str, src: str):
+        yield from self._charge_cpu()
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        return dict(entry), 128
+
+    def _h_create(self, req: dict, src: str):
+        """Create a file entry; the client supplies the FileID it minted."""
+        yield from self._charge_cpu()
+        path = req["path"]
+        if self.db.get(_file_key(path)) is not None:
+            raise NamespaceError(f"EEXIST {path}")
+        if self.db.get(_dir_key(_parent(path))) is None:
+            raise NamespaceError(f"ENOENT parent of {path}")
+        entry = FileEntry(
+            path=path,
+            fileid=req["fileid"],
+            ctime=self.sim.now,
+            mtime=self.sim.now,
+            degree=req.get("degree", self.params.default_degree),
+            alpha=req.get("alpha", self.params.default_alpha),
+            mode=req.get("mode", "linear"),
+            versioning=req.get("versioning", True),
+            placement=req.get("placement", "load"),
+            stripe_count=req.get("stripe_count", 4),
+            fixed_size=req.get("fixed_size", 0),
+        ).to_dict()
+        self._put(_file_key(path), entry)
+        yield from self._durable()
+        return dict(entry), 128
+
+    def _h_update_entry(self, req: dict, src: str):
+        """Mutate policy fields (degree/alpha/placement) of an entry."""
+        yield from self._charge_cpu()
+        path = req["path"]
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        for k in ("degree", "alpha", "placement"):
+            if k in req:
+                entry[k] = req[k]
+        self._put(_file_key(path), entry)
+        yield from self._durable()
+        return dict(entry), 128
+
+    def _h_unlink(self, path: str, src: str):
+        yield from self._charge_cpu()
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        self._delete(_file_key(path))
+        self._grants.pop(entry["fileid"], None)
+        self._leases.pop(entry["fileid"], None)
+        yield from self._durable()
+        return dict(entry), 128
+
+    def _h_mkdir(self, path: str, src: str):
+        yield from self._charge_cpu()
+        if self.db.get(_dir_key(path)) is not None:
+            raise NamespaceError(f"EEXIST {path}")
+        if self.db.get(_dir_key(_parent(path))) is None:
+            raise NamespaceError(f"ENOENT parent of {path}")
+        self._put(_dir_key(path), {"ctime": self.sim.now})
+        yield from self._durable()
+        return True, 32
+
+    def _h_rmdir(self, path: str, src: str):
+        yield from self._charge_cpu()
+        if path == ROOT:
+            raise NamespaceError("cannot remove /")
+        if self.db.get(_dir_key(path)) is None:
+            raise NamespaceError(f"ENOENT {path}")
+        if self._list_children(path):
+            raise NamespaceError(f"ENOTEMPTY {path}")
+        self._delete(_dir_key(path))
+        yield from self._durable()
+        return True, 32
+
+    def _h_list(self, path: str, src: str):
+        yield from self._charge_cpu()
+        if self.db.get(_dir_key(path)) is None:
+            raise NamespaceError(f"ENOENT {path}")
+        names = self._list_children(path)
+        return names, 64 + 16 * len(names)
+
+    def _list_children(self, path: str) -> List[str]:
+        prefix = path if path.endswith("/") else path + "/"
+        out = []
+        for kind in ("f:", "d:"):
+            for key, _ in self.db.prefix_items(kind + prefix):
+                rest = key[len(kind) + len(prefix):]
+                if rest and "/" not in rest:
+                    out.append(rest + ("/" if kind == "d:" else ""))
+        return sorted(out)
+
+    # ------------------------------------------------ version arbitration
+    def _h_begin_commit(self, req: dict, src: str):
+        """Grant the right to commit version base+1 of a file.
+
+        Rejected if the stored version moved past ``base_version`` (another
+        writer won: the caller sees a conflict) or if another commit is in
+        flight (the caller retries; Figure 6 steps (7)-(9)).
+        """
+        yield from self._charge_cpu()
+        path, base = req["path"], req["base_version"]
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        fileid = entry["fileid"]
+        grant = self._grants.get(fileid)
+        if grant is not None and grant.expires_at > self.sim.now \
+                and grant.holder != src:
+            return {"status": "busy"}, 48
+        if entry["version"] != base:
+            return {"status": "conflict", "current": entry["version"]}, 48
+        lease = self._leases.get(fileid)
+        if lease is not None and lease.expires_at > self.sim.now \
+                and lease.holder != src:
+            return {"status": "lease_held", "holder": lease.holder}, 48
+        self._grants[fileid] = _CommitGrant(
+            fileid, src, base, self.sim.now + self.params.commit_grant_ttl
+        )
+        return {"status": "ok"}, 48
+
+    def _h_complete_commit(self, req: dict, src: str):
+        yield from self._charge_cpu()
+        path, new_version = req["path"], req["new_version"]
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        grant = self._grants.get(entry["fileid"])
+        if grant is None or grant.holder != src \
+                or grant.expires_at <= self.sim.now:
+            raise NamespaceError(f"no commit grant for {path}")
+        if new_version != grant.base_version + 1:
+            raise NamespaceError(
+                f"commit must advance version by one "
+                f"({grant.base_version} -> {new_version})"
+            )
+        entry["version"] = new_version
+        entry["mtime"] = self.sim.now
+        self._put(_file_key(path), entry)
+        del self._grants[entry["fileid"]]
+        yield from self._durable()
+        return dict(entry), 128
+
+    def _h_abort_commit(self, req: dict, src: str):
+        yield from self._charge_cpu()
+        entry = self.db.get(_file_key(req["path"]))
+        if entry is not None:
+            grant = self._grants.get(entry["fileid"])
+            if grant is not None and grant.holder == src:
+                del self._grants[entry["fileid"]]
+        return True, 32
+
+    def _h_mark_milestone(self, req: dict, src: str):
+        """Record a milestone version: it survives consolidation forever
+        (the Elephant-inspired extension sketched in Section 3.5)."""
+        yield from self._charge_cpu()
+        path = req["path"]
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        version = req.get("version") or entry["version"]
+        if not 0 < version <= entry["version"]:
+            raise NamespaceError(
+                f"no version {version} of {path} to mark"
+            )
+        milestones = set(entry.get("milestones") or ())
+        milestones.add(version)
+        entry["milestones"] = tuple(sorted(milestones))
+        self._put(_file_key(path), entry)
+        yield from self._durable()
+        return dict(entry), 128
+
+    # --------------------------------------------------------- leases
+    def _h_acquire_lease(self, req: dict, src: str):
+        """Write-lock lease so cooperating processes avoid commit conflicts."""
+        yield from self._charge_cpu()
+        entry = self.db.get(_file_key(req["path"]))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {req['path']}")
+        fileid = entry["fileid"]
+        lease = self._leases.get(fileid)
+        if lease is not None and lease.expires_at > self.sim.now \
+                and lease.holder != src:
+            return {"status": "held", "holder": lease.holder}, 48
+        self._leases[fileid] = _Lease(src, self.sim.now + req.get("duration", 30.0))
+        return {"status": "ok"}, 48
+
+    def _h_release_lease(self, req: dict, src: str):
+        yield from self._charge_cpu()
+        entry = self.db.get(_file_key(req["path"]))
+        if entry is not None:
+            lease = self._leases.get(entry["fileid"])
+            if lease is not None and lease.holder == src:
+                del self._leases[entry["fileid"]]
+        return True, 32
+
+    # ------------------------------------------------------------ recovery
+    def crash(self) -> None:
+        """Lose volatile state (grants, leases, DB cache)."""
+        self.db.crash()
+        self._grants.clear()
+        self._leases.clear()
+
+    def recover(self) -> int:
+        return self.db.recover()

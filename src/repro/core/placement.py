@@ -1,0 +1,116 @@
+"""Load-aware data placement (Section 3.7.1).
+
+Provider selection is randomized and weight-proportional.  A candidate's
+weight combines its *load factor* and *storage factor*:
+
+    f_l = min{10, 1/l - 1}
+    f_s = min{10, log2(S / s)}
+    w   = f_l^alpha * f_s^(1 - alpha)
+
+with ``l`` the provider's CPU+I/O-wait load, ``S`` its available space,
+``s`` the segment size, and ``alpha`` the favoritism knob (0 = all about
+space, 1 = all about load).  The home-host optimization multiplies the
+home host's weight by 3N for small segments (Section 3.7.2).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.membership import ProviderInfo
+
+FACTOR_CAP = 10.0
+_MIN_LOAD = 1e-4
+
+
+def load_factor(load: float) -> float:
+    """f_l = min{10, 1/l - 1}, clamped to [0, 10]."""
+    load = max(_MIN_LOAD, min(1.0, load))
+    return max(0.0, min(FACTOR_CAP, 1.0 / load - 1.0))
+
+
+def storage_factor(available: int, seg_size: int) -> float:
+    """f_s = min{10, log2(S/s)}, 0 when the segment does not fit."""
+    if seg_size <= 0:
+        raise ValueError("segment size must be positive")
+    if available < seg_size:
+        return 0.0
+    return min(FACTOR_CAP, math.log2(available / seg_size))
+
+
+def weight(f_l: float, f_s: float, alpha: float) -> float:
+    """w = f_l^alpha * f_s^(1-alpha)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    # 0^0 is taken as 1 so alpha=0/1 cleanly ignores the dead factor.
+    wl = f_l ** alpha if not (f_l == 0.0 and alpha == 0.0) else 1.0
+    ws = f_s ** (1.0 - alpha) if not (f_s == 0.0 and alpha == 1.0) else 1.0
+    return wl * ws
+
+
+def provider_weight(info: ProviderInfo, seg_size: int, alpha: float) -> float:
+    return weight(load_factor(info.load), storage_factor(info.available, seg_size),
+                  alpha)
+
+
+def choose_provider(
+    rng: random.Random,
+    candidates: Dict[str, ProviderInfo],
+    seg_size: int,
+    alpha: float,
+    exclude: Optional[Iterable[str]] = None,
+    home_host: Optional[str] = None,
+    home_boost: float = 0.0,
+    avoid_racks: Optional[Iterable[str]] = None,
+) -> Optional[str]:
+    """Pick one provider, probability proportional to weight.
+
+    ``exclude`` removes existing replica holders ("to increase data
+    survivability ... store replicas of a segment on different
+    providers").  ``home_boost`` multiplies the home host's weight
+    (use 3N for small segments).  ``avoid_racks`` prefers candidates
+    outside the given failure domains (GoogleFS-style rack awareness —
+    the extension Section 3.7.2 sketches); it is a preference, not a
+    hard constraint: if every fitting candidate shares a rack with an
+    existing replica, one of them is still chosen.  Returns None when
+    no candidate fits.
+    """
+    racks: Set[str] = {r for r in (avoid_racks or ()) if r}
+    if racks:
+        other_rack = {
+            h: i for h, i in candidates.items()
+            if i.rack not in racks and h not in set(exclude or ())
+        }
+        pick = choose_provider(rng, other_rack, seg_size, alpha,
+                               exclude=exclude, home_host=home_host,
+                               home_boost=home_boost)
+        if pick is not None:
+            return pick
+        # Fall through: no off-rack candidate can take it.
+    excluded: Set[str] = set(exclude or ())
+    hosts, weights = [], []
+    for host, info in candidates.items():
+        if host in excluded:
+            continue
+        w = provider_weight(info, seg_size, alpha)
+        if host == home_host and home_boost > 0:
+            w *= home_boost
+        hosts.append(host)
+        weights.append(w)
+    if not hosts:
+        return None
+    total = sum(weights)
+    if total <= 0.0:
+        # Everything overloaded/full by the formula: last resort, uniform
+        # among candidates that can physically hold the segment.
+        fitting = [h for h in hosts if candidates[h].available >= seg_size]
+        return rng.choice(fitting) if fitting else None
+    pick = rng.random() * total
+    acc = 0.0
+    for host, w in zip(hosts, weights):
+        acc += w
+        if pick <= acc:
+            return host
+    return hosts[-1]

@@ -1,0 +1,851 @@
+"""The storage provider daemon.
+
+A provider wears three hats at once:
+
+* **owner** — it stores segments on its native FS (:class:`SegmentStore`)
+  and serves client reads/writes, shadow creation, and 2PC participation;
+* **home host** — for SegIDs that consistent-hash to it, it keeps the
+  soft-state :class:`LocationTable` and supervises replica consistency and
+  replication degree (lazy update propagation, Section 3.6);
+* **self-organizer** — it announces heartbeats, refreshes remote location
+  tables (the four event types of Section 3.4.1), and runs the migration
+  decision loop of Section 3.7.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.hashing import HashRing
+from repro.core.locality import AccessHistory
+from repro.core.location import LocationTable
+from repro.core.membership import MembershipManager
+from repro.core.migration import decide_migration
+from repro.core.params import SorrentoParams
+from repro.core.placement import choose_provider
+from repro.core.segment import SegmentError, SegmentStore, StoredSegment
+from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.sim import Resource
+
+#: Multicast group for the backup location scheme (Section 3.4.2).
+LOCATION_GROUP = "sorrento-loc"
+
+#: Per-location-entry wire size in refresh messages.
+LOC_ENTRY_BYTES = 40
+
+
+def _meta_bytes(meta: Optional[dict]) -> int:
+    """On-disk footprint of an index segment's contents."""
+    if not meta:
+        return 4096
+    layout = meta.get("layout")
+    nsegs = len(layout.segments) if layout is not None else 0
+    return 4096 + 24 * nsegs + (meta.get("attached_len") or 0)
+
+
+class StorageProvider:
+    """One provider daemon on one cluster node."""
+
+    SERVICES = (
+        "seg_create", "seg_create_shadow", "seg_write", "seg_read",
+        "seg_truncate", "seg_renew", "seg_prepare", "seg_commit",
+        "seg_abort", "seg_delete", "seg_fetch", "seg_sync",
+        "seg_replicate", "seg_trim", "seg_pin", "loc_lookup",
+        "loc_update", "loc_refresh", "loc_probe",
+    )
+
+    def __init__(self, node, volume: str, params: Optional[SorrentoParams] = None,
+                 rng: Optional[random.Random] = None):
+        if node.fs is None:
+            raise ValueError(f"{node.hostid} exports no storage")
+        self.node = node
+        self.sim = node.sim
+        self.volume = volume
+        self.params = params or SorrentoParams()
+        self.rng = rng or random.Random(hash(node.hostid) & 0xFFFF)
+        self.store = SegmentStore(self.sim, node.fs,
+                                  shadow_ttl=self.params.shadow_ttl)
+        self.loc = LocationTable()
+        self.ring = HashRing(self.params.ring_vnodes)
+        self.history = AccessHistory(self.params.locality_segments,
+                                     self.params.locality_history)
+        self.membership = MembershipManager(
+            node, interval=self.params.heartbeat_interval, announce=True
+        )
+        self.membership.on_join.append(self._on_join)
+        self.membership.on_leave.append(self._on_leave)
+        # "we only allow one active data migration process per node"
+        self.transfer_lock = Resource(self.sim, 1)
+        self._repair_recent: Dict[Tuple[int, str, str], float] = {}
+        self._recheck_pending: set = set()
+        self._trim_pending: set = set()
+        self._locality_recent: Dict[int, float] = {}
+        self.stats = {"migrations": 0, "replications": 0, "syncs": 0,
+                      "reads": 0, "writes": 0}
+        for svc in self.SERVICES:
+            node.endpoint.register(svc, getattr(self, "_h_" + svc))
+        node.endpoint.subscribe(LOCATION_GROUP)
+        self.start()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Spawn the background loops (used at boot and after restart)."""
+        self.node.spawn(self._refresh_loop(), name="loc-refresh")
+        self.node.spawn(self._shadow_sweep_loop(), name="shadow-sweep")
+        self.node.spawn(self._migration_loop(), name="migration")
+
+    def restart(self) -> None:
+        """Rejoin after a crash: node back up, location table rebuilt.
+
+        The paper: the location table "is reconstructed every time a
+        storage provider starts up"; FS contents survive and the system
+        works out "what data are still current and what are outdated"
+        via versions.
+        """
+        self.node.restart()
+        self.loc = LocationTable()
+        self.membership.members.clear()
+        self.membership.start()
+        self.start()
+        # Announce surviving segments to their home hosts right away.
+        self.node.spawn(self._refresh_everything(jitter=1.0), name="rejoin")
+
+    # ----------------------------------------------------- common charging
+    def _charge(self, nbytes: int = 0):
+        yield self.node.cpu(self.params.provider_op_cpu
+                            + nbytes * self.params.provider_byte_cpu)
+
+    def _members(self) -> Dict[str, object]:
+        return self.membership.snapshot()
+
+    def _home_of(self, segid: int) -> Optional[str]:
+        members = self.membership.live_providers()
+        if not members:
+            return None
+        return self.ring.home_host(segid, members)
+
+    # =================================================================
+    # Owner-side services (client data path)
+    # =================================================================
+    def _h_seg_create(self, req: dict, src: str):
+        yield from self._charge()
+        seg = yield from self.store.create(
+            req["segid"], req.get("version", 1),
+            replication_degree=req.get("degree", 1),
+            alpha=req.get("alpha", self.params.default_alpha),
+            placement=req.get("placement", "load"),
+            committed=req.get("committed", False),
+            creator=src,
+        )
+        if req.get("meta") is not None:
+            seg.meta = req["meta"]
+        if seg.committed:
+            self._announce_segment(seg)
+        return {"version": seg.version}, 48
+
+    def _h_seg_create_shadow(self, req: dict, src: str):
+        yield from self._charge()
+        seg = yield from self.store.create_shadow(req["segid"],
+                                                  req["base_version"],
+                                                  creator=src)
+        return {"version": seg.version}, 48
+
+    def _h_seg_write(self, req: dict, src: str):
+        segid, version = req["segid"], req["version"]
+        length = req["length"]
+        yield from self._charge(length)
+        existing = self.store.get(segid, version)
+        sequential = existing is not None and req["offset"] >= existing.extents.end
+        if req.get("in_place"):
+            seg = yield from self.store.write_in_place(
+                segid, version, req["offset"], length,
+                data=req.get("data"), sequential=sequential)
+        else:
+            seg = yield from self.store.write(
+                segid, version, req["offset"], length,
+                data=req.get("data"), sequential=sequential)
+        self.history.record(segid, src, length)
+        self.stats["writes"] += 1
+        return {"version": seg.version, "size": seg.size}, 48
+
+    def _h_seg_read(self, req: dict, src: str):
+        segid = req["segid"]
+        version = req.get("version")
+        yield from self._charge()
+        if version is None:
+            latest = self.store.latest_committed(segid)
+            if latest is None:
+                raise SegmentError(f"not an owner of {segid:#x}")
+            version = latest.version
+        length = req["length"]
+        seg = self.store.get(segid, version)
+        if seg is not None and seg.meta is not None:
+            # Index-segment fetch: disk pattern differs from data reads.
+            length = yield from self._index_io(
+                seg, meta_only=req.get("meta_only", False))
+            self.history.record(segid, src, length)
+            self.stats["reads"] += 1
+            return {"version": version, "data": None, "length": length,
+                    "meta": seg.meta}, 64 + length
+        data = yield from self.store.read(segid, version, req["offset"], length,
+                                          sequential=req.get("sequential", False))
+        yield from self._charge(length)
+        self.history.record(segid, src, length)
+        self.stats["reads"] += 1
+        seg = self.store.get(segid, version)
+        return {"version": version, "data": data, "length": length,
+                "meta": seg.meta}, 64 + length
+
+    def _h_seg_truncate(self, req: dict, src: str):
+        yield from self._charge()
+        yield from self.store.truncate(req["segid"], req["version"], req["size"])
+        return True, 32
+
+    def _h_seg_renew(self, req: dict, src: str):
+        yield from self._charge()
+        self.store.renew_shadow(req["segid"], req["version"])
+        return True, 32
+
+    # -- 2PC participant ---------------------------------------------------
+    def _h_seg_prepare(self, req: dict, src: str):
+        yield from self._charge()
+        seg = self.store.get(req["segid"], req["version"])
+        if seg is None or seg.committed:
+            return seg is not None, 32  # already committed counts as yes
+        if seg.expires_at is not None and seg.expires_at <= self.sim.now:
+            return False, 32
+        # Hold the shadow through the commit window.
+        seg.expires_at = self.sim.now + self.params.commit_grant_ttl * 4
+        return True, 32
+
+    def _h_seg_commit(self, req: dict, src: str):
+        yield from self._charge()
+        meta = req.get("meta")
+        if meta is not None:
+            # Persist the index segment's contents (layout + attached
+            # data) before sealing the version: one positioned write.
+            existing = self.store.get(req["segid"], req["version"])
+            if existing is not None and not existing.committed:
+                existing.meta = meta
+                nbytes = _meta_bytes(meta)
+                yield from self.store.write(req["segid"], req["version"],
+                                            0, nbytes)
+        seg = yield from self.store.commit(req["segid"], req["version"])
+        if meta is not None:
+            seg.meta = meta
+        self._announce_segment(seg)
+        # "Sorrento consolidates earlier versions of a segment and only
+        # keeps one or a few latest stable versions" — off the commit
+        # path, in the background.
+        self.node.spawn(self._consolidate_later(req["segid"]),
+                        name=f"consolidate:{req['segid']:x}")
+        if self.params.eager_propagation:
+            yield from self._eager_push(seg)
+        return {"version": seg.version}, 48
+
+    def _consolidate_later(self, segid: int):
+        yield self.sim.timeout(1.0)
+        try:
+            yield from self.store.consolidate(segid,
+                                              self.params.keep_versions)
+        except SegmentError:
+            pass  # segment deleted meanwhile
+
+    def _h_seg_abort(self, req: dict, src: str):
+        yield from self._charge()
+        seg = self.store.get(req["segid"], req["version"])
+        # Only the shadow's creator may abort it — a losing committer must
+        # not be able to destroy a rival's in-flight shadow.
+        if seg is not None and not seg.committed \
+                and (not seg.created_by or seg.created_by == src):
+            yield from self.store.drop(req["segid"], req["version"])
+        return True, 32
+
+    def _h_seg_delete(self, req: dict, src: str):
+        segid = req["segid"]
+        yield from self._charge()
+        yield from self.store.delete_segment(segid)
+        self.history.forget(segid)
+        home = self._home_of(segid)
+        if home is not None:
+            self._loc_send(home, "remove", segid, 0, 0, 0)
+        return True, 32
+
+    def _h_seg_pin(self, req: dict, src: str):
+        """Pin a milestone version against consolidation (Section 3.5's
+        Elephant-style extension)."""
+        yield from self._charge()
+        seg = self.store.get(req["segid"], req["version"])
+        if seg is None or not seg.committed:
+            return False, 32
+        self.store.pin(req["segid"], req["version"])
+        return True, 32
+
+    def _h_seg_trim(self, req: dict, src: str):
+        """Home host asked us to drop an excess replica."""
+        yield from self._charge()
+        mine = self.store.latest_committed(req["segid"])
+        if mine is None or mine.version != req["version"]:
+            return False, 32  # not ours to trim (stale request)
+        yield from self.store.delete_segment(req["segid"])
+        self.history.forget(req["segid"])
+        home = self._home_of(req["segid"])
+        if home == self.node.hostid:
+            self.loc.remove(req["segid"], self.node.hostid)
+        elif home is not None:
+            self._loc_send(home, "remove", req["segid"], 0, 0, 0)
+        return True, 32
+
+    # -- transfer services (sync / replicate / migrate) ------------------
+    def _h_seg_fetch(self, req: dict, src: str):
+        """Serve segment content to a peer (full copy or version diff)."""
+        segid = req["segid"]
+        seg = self.store.get(segid, req["version"]) if req.get("version") \
+            else self.store.latest_committed(segid)
+        if seg is None or not seg.committed:
+            raise SegmentError(f"cannot serve {segid:#x}")
+        since = req.get("since")
+        regions = None
+        if since is not None:
+            regions = self.store.export_diff(segid, since, seg.version)
+        if regions is not None:
+            nbytes = sum(e - s for s, e, _ in regions)
+            yield from self._charge(nbytes)
+            if nbytes > 0:
+                yield self.node.fs.device.io(nbytes, sequential=True)
+            return {
+                "segid": segid, "version": seg.version, "size": seg.size,
+                "degree": seg.replication_degree, "alpha": seg.alpha,
+                "placement": seg.placement, "meta": seg.meta,
+                "regions": regions, "data": None, "nbytes": nbytes,
+            }, 128 + nbytes
+        nbytes = seg.size
+        yield from self._charge(nbytes)
+        data = yield from self.store.read(segid, seg.version, 0, seg.size,
+                                          sequential=True)
+        return {
+            "segid": segid, "version": seg.version, "size": seg.size,
+            "degree": seg.replication_degree, "alpha": seg.alpha,
+            "placement": seg.placement, "meta": seg.meta,
+            "pinned": seg.pinned,
+            "regions": None, "data": data, "nbytes": nbytes,
+        }, 128 + nbytes
+
+    def _h_seg_sync(self, req: dict, src: str):
+        """Home host told us our replica is stale: pull the diff."""
+        yield from self._charge()
+        segid, target_version = req["segid"], req["version"]
+        mine = self.store.latest_committed(segid)
+        if mine is not None and mine.version >= target_version:
+            return {"version": mine.version}, 48
+        since = mine.version if mine is not None else None
+        resp = yield from self.node.endpoint.call(
+            req["from"], "seg_fetch",
+            {"segid": segid, "version": target_version, "since": since},
+            size=64, timeout=self.params.rpc_timeout,
+        )
+        if self.store.get(segid, resp["version"]) is None:
+            if resp.get("regions") is not None:
+                seg = yield from self.store.apply_diff(
+                    segid, resp["version"], resp["size"], resp["regions"],
+                    replication_degree=resp["degree"], alpha=resp["alpha"],
+                    placement=resp["placement"], meta=resp["meta"],
+                )
+            else:
+                seg = yield from self.store.ingest(
+                    segid, resp["version"], resp["size"],
+                    replication_degree=resp["degree"], alpha=resp["alpha"],
+                    placement=resp["placement"], meta=resp["meta"],
+                    data=resp["data"], write_bytes=resp["nbytes"],
+                )
+            yield from self.store.consolidate(segid, self.params.keep_versions)
+            self._announce_segment(seg)
+        self.stats["syncs"] += 1
+        return {"version": resp["version"]}, 48
+
+    def _h_seg_replicate(self, req: dict, src: str):
+        """Home host (or a migrating peer) asked us to host a replica.
+
+        ``exact=True`` requests that precise version even if a newer one
+        is already held (migration moving pinned milestone versions).
+        """
+        yield from self._charge()
+        segid = req["segid"]
+        exact = req.get("exact", False)
+
+        def satisfied():
+            if exact:
+                return self.store.get(segid, req["version"]) is not None
+            mine = self.store.latest_committed(segid)
+            return mine is not None and mine.version >= req["version"]
+
+        if satisfied():
+            return {"already": True, "version": req["version"]}, 48
+        grant = self.transfer_lock.request()
+        yield grant
+        try:
+            if satisfied():
+                return {"already": True, "version": req["version"]}, 48
+            resp = yield from self.node.endpoint.call(
+                req["from"], "seg_fetch",
+                {"segid": segid, "version": req["version"]},
+                size=64, timeout=self.params.rpc_timeout,
+            )
+            t0 = self.sim.now
+            seg = yield from self.store.ingest(
+                segid, resp["version"], resp["size"],
+                replication_degree=resp["degree"], alpha=resp["alpha"],
+                placement=resp["placement"], meta=resp["meta"],
+                data=resp["data"],
+            )
+            if resp.get("pinned"):
+                seg.pinned = True
+            self._announce_segment(seg)
+            self.stats["replications"] += 1
+            # Pace background transfers so recovery/migration traffic does
+            # not starve foreground I/O: hold the node's single transfer
+            # slot until the average rate drops to repair_bandwidth.
+            pace = resp["size"] / self.params.repair_bandwidth
+            elapsed = self.sim.now - t0
+            if pace > elapsed:
+                yield self.sim.timeout(pace - elapsed)
+            return {"already": False, "version": seg.version}, 48
+        finally:
+            self.transfer_lock.release()
+
+    # =================================================================
+    # Home-host services (data location, Section 3.4)
+    # =================================================================
+    def _h_loc_lookup(self, req: dict, src: str):
+        """Locate a segment's owners; serve small reads inline when local.
+
+        Mirrors Figure 6 step (2): if the home host itself owns the
+        segment, it "sends back the data immediately" instead of
+        redirecting.
+        """
+        segid = req["segid"]
+        yield from self._charge()
+        mine = self.store.latest_committed(segid)
+        read = req.get("read")
+        latest_known = self.loc.latest_version(segid)
+        if mine is not None and read is not None \
+                and (latest_known is None or mine.version >= latest_known):
+            data = None
+            if mine.meta is not None:
+                # Index segment: inode + (unless meta-only) attached data.
+                length = yield from self._index_io(
+                    mine, meta_only=read.get("meta_only", False))
+            else:
+                offset, length = read["offset"], read["length"]
+                length = min(length, max(0, mine.size - offset))
+                if length > 0:
+                    data = yield from self.store.read(segid, mine.version,
+                                                      offset, length)
+            self.history.record(segid, src, length)
+            return {
+                "owners": self.loc.lookup(segid) or [(self.node.hostid, mine.version)],
+                "inline": {"version": mine.version, "data": data,
+                           "length": length, "meta": mine.meta,
+                           "size": mine.size},
+            }, 96 + length
+        owners = self.loc.lookup(segid)
+        if mine is not None and all(h != self.node.hostid for h, _ in owners):
+            owners = [(self.node.hostid, mine.version)] + owners
+        return {"owners": owners, "inline": None}, 64 + 16 * len(owners)
+
+    def _h_loc_update(self, req: dict, src: str) -> None:
+        """Eager add/remove of one location entry (segment events)."""
+        if req["op"] == "add":
+            self.loc.update(req["segid"], req["owner"], req["version"],
+                            req["degree"], req["size"], self.sim.now)
+        else:
+            self.loc.remove(req["segid"], req["owner"])
+        self._schedule_supervision(req["segid"])
+
+    def _h_loc_refresh(self, req: dict, src: str):
+        """Bulk periodic content refreshing from an owner."""
+        yield from self._charge(LOC_ENTRY_BYTES * len(req["entries"]))
+        for segid, version, degree, size in req["entries"]:
+            self.loc.update(segid, req["owner"], version, degree, size,
+                            self.sim.now)
+            self._schedule_supervision(segid)
+        return True, 32
+
+    def _h_loc_probe(self, req: dict, src: str) -> None:
+        """Backup scheme: answer a multicast who-has query if we own it."""
+        mine = self.store.latest_committed(req["segid"])
+        if mine is not None:
+            self.node.endpoint.send(src, "loc_probe_hit", {
+                "nonce": req["nonce"], "segid": req["segid"],
+                "owner": self.node.hostid, "version": mine.version,
+            }, size=64)
+
+    def _index_io(self, seg, meta_only: bool = False):
+        """Disk charge for reading an index segment: the native-FS inode
+        plus, unless only the layout is needed, the attached file data."""
+        yield self.node.fs.device.io(4096)
+        attached = (seg.meta or {}).get("attached_len") or 0
+        if not meta_only:
+            yield self.node.fs.device.io(max(4096, attached))
+        seg.last_access = self.sim.now
+        return 0 if meta_only else attached
+
+    # ------------------------------------------------- announcements
+    def _announce_segment(self, seg: StoredSegment) -> None:
+        """Segment creation / version advance → tell the home host."""
+        home = self._home_of(seg.segid)
+        if home is None:
+            return
+        if home == self.node.hostid:
+            self.loc.update(seg.segid, self.node.hostid, seg.version,
+                            seg.replication_degree, seg.size, self.sim.now)
+            self._schedule_supervision(seg.segid)
+        else:
+            self._loc_send(home, "add", seg.segid, seg.version,
+                           seg.replication_degree, seg.size)
+
+    def _loc_send(self, home: str, op: str, segid: int, version: int,
+                  degree: int, size: int) -> None:
+        self.node.endpoint.send(home, "loc_update", {
+            "op": op, "segid": segid, "owner": self.node.hostid,
+            "version": version, "degree": degree, "size": size,
+        }, size=LOC_ENTRY_BYTES)
+
+    # ------------------------------------------- replica supervision
+    def _schedule_supervision(self, segid: int) -> None:
+        self.node.spawn(self._supervise(segid), name=f"supervise:{segid:x}")
+
+    def _supervise(self, segid: int, delay: float = 0.0):
+        """Home-host check: push syncs to stale owners, restore degree."""
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        latest, current, stale = self.loc.discrepancies(segid)
+        if not current:
+            return
+        now = self.sim.now
+        source = self.rng.choice(current)
+        for host in stale:
+            if self._repair_throttled(segid, "sync", host, now):
+                continue
+            self.node.endpoint.send(host, "seg_sync", {
+                "segid": segid, "version": latest, "from": source,
+            }, size=48)
+        owners = set(current) | set(stale)
+        rec = self.loc.record(segid, current[0])
+        degree = rec.degree if rec else 1
+        size = rec.size if rec else 0
+        age = self.loc.age(segid, now)
+        if age < self.params.repair_grace:
+            # Immature entry: owners may still be refreshing in.  Check
+            # again once mature (rather than waiting a full refresh cycle).
+            if segid not in self._recheck_pending:
+                self._recheck_pending.add(segid)
+                self.node.spawn(
+                    self._recheck(segid, self.params.repair_grace - age + 0.1),
+                    name=f"recheck:{segid:x}")
+            return
+        # Replications already in flight (sent recently, not yet owners).
+        pending = {
+            h for (sid, action, h), t in self._repair_recent.items()
+            if sid == segid and action == "repl" and h not in owners
+            and t > now - self.params.repair_cooldown
+        }
+        deficit = degree - len(owners) - len(pending)
+        if deficit > 0:
+            members = self._members()
+            exclude = owners | pending
+            for _ in range(deficit):
+                # Rack-aware: prefer replica sites outside the failure
+                # domains already holding a copy (GoogleFS-style).
+                used_racks = {
+                    members[h].rack for h in (owners | pending)
+                    if h in members and members[h].rack
+                }
+                target = choose_provider(
+                    self.rng, members, max(size, 1),
+                    self.params.default_alpha, exclude=exclude,
+                    avoid_racks=used_racks,
+                )
+                if target is None:
+                    return
+                exclude.add(target)
+                if self._repair_throttled(segid, "repl", target, now):
+                    continue
+                self.node.endpoint.send(target, "seg_replicate", {
+                    "segid": segid, "version": latest, "from": source,
+                }, size=48)
+        elif not stale and len(owners) > degree:
+            # Apparent excess replicas.  NEVER trim immediately: a
+            # migration in flight shows two owners for a moment (target
+            # announced, source's removal not yet arrived) and trimming
+            # then — while the source erases its copy — loses the
+            # segment.  Re-verify after a full cooldown instead.
+            if segid not in self._trim_pending:
+                self._trim_pending.add(segid)
+                self.node.spawn(self._verify_trim(segid),
+                                name=f"verify-trim:{segid:x}")
+
+    def _verify_trim(self, segid: int):
+        yield self.sim.timeout(self.params.repair_cooldown)
+        self._trim_pending.discard(segid)
+        latest, current, stale = self.loc.discrepancies(segid)
+        if stale or not current:
+            return
+        rec = self.loc.record(segid, current[0])
+        degree = rec.degree if rec else 1
+        if len(current) <= degree:
+            return  # the transient resolved itself (migration completed)
+        now = self.sim.now
+        extra = sorted(current)
+        victim = extra[-1]
+        if not self._repair_throttled(segid, "trim", victim, now):
+            self.node.endpoint.send(victim, "seg_trim", {
+                "segid": segid, "version": latest,
+            }, size=48)
+
+    def _recheck(self, segid: int, delay: float):
+        yield self.sim.timeout(delay)
+        self._recheck_pending.discard(segid)
+        yield from self._supervise(segid)
+
+    def _repair_throttled(self, segid: int, action: str, host: str,
+                          now: float) -> bool:
+        key = (segid, action, host)
+        if self._repair_recent.get(key, -1e18) > now - self.params.repair_cooldown:
+            return True
+        self._repair_recent[key] = now
+        if len(self._repair_recent) > 10000:
+            cutoff = now - self.params.repair_cooldown
+            self._repair_recent = {
+                k: t for k, t in self._repair_recent.items() if t > cutoff
+            }
+        return False
+
+    # =================================================================
+    # Membership events (the four refresh-trigger types, Section 3.4.1)
+    # =================================================================
+    def _on_join(self, hostid: str) -> None:
+        if hostid == self.node.hostid:
+            return
+        delay = self.rng.random() * self.params.join_refresh_delay_max
+        self.node.spawn(self._refresh_toward(hostid, delay),
+                        name=f"join-refresh:{hostid}")
+
+    def _on_leave(self, hostid: str) -> None:
+        # (3) Node departure: purge its records; segments it owned may now
+        # be under-replicated — recheck after a grace period.
+        affected = self.loc.drop_owner(hostid)
+        for segid in affected:
+            self.node.spawn(
+                self._supervise(segid, delay=self.params.repair_delay),
+                name=f"repair:{segid:x}",
+            )
+        # Re-announce local segments whose home host was the dead node.
+        self.node.spawn(self._rehome_after_departure(hostid), name="rehome")
+
+    def _rehome_after_departure(self, dead: str):
+        members = self.membership.live_providers()
+        if not members:
+            return
+        yield self.sim.timeout(self.rng.random() * 2.0)
+        by_home: Dict[str, List[tuple]] = {}
+        for seg in self.store.committed_segments():
+            old_ring = self.ring.home_host(
+                seg.segid, sorted(set(members) | {dead})
+            )
+            if old_ring != dead:
+                continue
+            new_home = self.ring.home_host(seg.segid, members)
+            by_home.setdefault(new_home, []).append(
+                (seg.segid, seg.version, seg.replication_degree, seg.size)
+            )
+        yield from self._send_refreshes(by_home)
+
+    def _refresh_toward(self, hostid: str, delay: float):
+        yield self.sim.timeout(delay)
+        members = self.membership.live_providers()
+        if hostid not in members:
+            return  # departed again before we refreshed
+        entries = [
+            (seg.segid, seg.version, seg.replication_degree, seg.size)
+            for seg in self.store.committed_segments()
+            if self.ring.home_host(seg.segid, members) == hostid
+        ]
+        yield from self._send_refreshes({hostid: entries} if entries else {})
+
+    # ------------------------------------------------- periodic loops
+    def _refresh_loop(self):
+        # Stagger the first cycle so providers do not refresh in lockstep.
+        yield self.sim.timeout(self.rng.random() * self.params.refresh_cycle)
+        while True:
+            yield from self._refresh_everything()
+            self.loc.purge(
+                self.sim.now,
+                self.params.purge_age_factor * self.params.refresh_cycle,
+            )
+            yield self.sim.timeout(self.params.refresh_cycle)
+
+    def _refresh_everything(self, jitter: float = 0.0):
+        if jitter:
+            yield self.sim.timeout(self.rng.random() * jitter)
+        members = self.membership.live_providers()
+        if not members:
+            return
+        by_home: Dict[str, List[tuple]] = {}
+        for seg in self.store.committed_segments():
+            home = self.ring.home_host(seg.segid, members)
+            by_home.setdefault(home, []).append(
+                (seg.segid, seg.version, seg.replication_degree, seg.size)
+            )
+        yield from self._send_refreshes(by_home)
+
+    def _send_refreshes(self, by_home: Dict[str, List[tuple]]):
+        for home, entries in by_home.items():
+            if home == self.node.hostid:
+                for segid, version, degree, size in entries:
+                    self.loc.update(segid, self.node.hostid, version, degree,
+                                    size, self.sim.now)
+                    self._schedule_supervision(segid)
+                continue
+            self.node.endpoint.send(home, "loc_refresh", {
+                "owner": self.node.hostid, "entries": entries,
+            }, size=32 + LOC_ENTRY_BYTES * len(entries))
+            yield self.node.cpu(
+                self.params.provider_op_cpu * (1 + len(entries) / 64)
+            )
+
+    def _shadow_sweep_loop(self):
+        while True:
+            yield self.sim.timeout(max(5.0, self.params.shadow_ttl / 4))
+            for segid, version in self.store.expire_shadows():
+                yield from self.store.drop(segid, version)
+
+    # =================================================================
+    # Migration (Section 3.7)
+    # =================================================================
+    def _migration_loop(self):
+        yield self.sim.timeout(self.rng.random() * self.params.migration_interval)
+        while True:
+            try:
+                yield from self._migration_round()
+            except (RpcTimeout, RpcRemoteError, SegmentError):
+                pass
+            yield self.sim.timeout(self.params.migration_interval)
+
+    def _migration_round(self):
+        members = self._members()
+        candidates = [s for s in self.store.committed_segments() if s.size > 0]
+        # Locality-driven moves first: they are explicit application policy.
+        yield from self._locality_round(members, candidates)
+        decision = decide_migration(self.node.hostid, members,
+                                    [s for s in candidates
+                                     if s.placement != "locality"],
+                                    self.params)
+        if decision is None:
+            return
+        for seg in decision.segments:
+            owners = {h for h, _ in self.loc.lookup(seg.segid)}
+            target = choose_provider(
+                self.rng, members, seg.size, decision.alpha,
+                exclude=owners | {self.node.hostid},
+            )
+            if target is None:
+                continue
+            yield from self._migrate_out(seg, target)
+
+    def _locality_round(self, members, candidates):
+        now = self.sim.now
+        for seg in candidates:
+            if seg.placement != "locality":
+                continue
+            if self._locality_recent.get(seg.segid, -1e18) > now - 2 * self.params.migration_interval:
+                continue
+            dominant = self.history.dominant_source(
+                seg.segid, self.params.locality_threshold,
+                self.params.locality_min_samples,
+            )
+            if dominant is None or dominant == self.node.hostid:
+                continue
+            if dominant not in members:
+                continue  # traffic source is not a storage provider
+            self._locality_recent[seg.segid] = now
+            yield from self._migrate_out(seg, dominant)
+
+    def _migrate_out(self, seg: StoredSegment, target: str):
+        """Replicate to ``target`` then erase locally (Section 3.7.1:
+        migration = new replica elsewhere + erase the local copy).
+
+        Pinned milestone versions travel with the segment — migration
+        must never silently shed history."""
+        grant = self.transfer_lock.request()
+        yield grant
+        try:
+            timeout = max(self.params.rpc_timeout, seg.size / 1e6)
+            # Move pinned history first (oldest up), then the live tip.
+            pinned = [
+                v for v in self.store.versions_of(seg.segid)
+                if v != seg.version and self.store.get(seg.segid, v).pinned
+            ]
+            for v in pinned:
+                try:
+                    yield from self.node.endpoint.call(
+                        target, "seg_replicate", {
+                            "segid": seg.segid, "version": v,
+                            "from": self.node.hostid, "exact": True,
+                        }, size=48, timeout=timeout)
+                except (RpcTimeout, RpcRemoteError):
+                    return False
+            try:
+                resp = yield from self.node.endpoint.call(
+                    target, "seg_replicate", {
+                        "segid": seg.segid, "version": seg.version,
+                        "from": self.node.hostid,
+                    }, size=48, timeout=timeout,
+                )
+            except (RpcTimeout, RpcRemoteError):
+                return False
+            if resp.get("already"):
+                # The target already held the live tip: nothing moved, so
+                # keep the local copy (replica count must not shrink).
+                # Any pinned history shipped above is harmlessly duplicated.
+                return False
+            yield from self.store.delete_segment(seg.segid)
+            self.history.forget(seg.segid)
+            home = self._home_of(seg.segid)
+            if home == self.node.hostid:
+                self.loc.remove(seg.segid, self.node.hostid)
+            elif home is not None:
+                self._loc_send(home, "remove", seg.segid, 0, 0, 0)
+            self.stats["migrations"] += 1
+            return True
+        finally:
+            self.transfer_lock.release()
+
+    # ------------------------------------------------- eager propagation
+    def _eager_push(self, seg: StoredSegment):
+        """Synchronous commitment: push the new version to every replica
+        before acknowledging (Section 3.6)."""
+        home = self._home_of(seg.segid)
+        if home is None:
+            return
+        try:
+            if home == self.node.hostid:
+                owners = self.loc.lookup(seg.segid)
+            else:
+                resp = yield from self.node.endpoint.call(
+                    home, "loc_lookup", {"segid": seg.segid}, size=48,
+                    timeout=self.params.rpc_timeout)
+                owners = resp["owners"]
+        except (RpcTimeout, RpcRemoteError):
+            return
+        stale = [h for h, v in owners
+                 if h != self.node.hostid and v < seg.version]
+        for host in stale:
+            try:
+                yield from self.node.endpoint.call(host, "seg_sync", {
+                    "segid": seg.segid, "version": seg.version,
+                    "from": self.node.hostid,
+                }, size=48, timeout=self.params.rpc_timeout)
+            except (RpcTimeout, RpcRemoteError):
+                continue

@@ -1,0 +1,523 @@
+"""Provider-side segment storage with versions and copy-on-write.
+
+Implements Section 3.5's mechanics: committed versions are immutable;
+a *shadow copy* is a sparse new version whose unwritten regions resolve
+to the base version ("or its ancestor versions"); shadows expire unless
+committed or renewed; old versions are consolidated so only the last few
+survive.
+
+Content model: every write records an extent.  If the writer supplied
+actual bytes they are kept (tests verify end-to-end content); otherwise
+the extent is *synthetic* — only timing and sizes matter, which is how
+the benchmark workloads run without allocating gigabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.extent import RangeMap
+from repro.storage.filesystem import LocalFS
+
+#: Shadow copies must commit or renew within this window (Section 3.5).
+DEFAULT_SHADOW_TTL = 300.0
+
+#: How many committed versions to retain after consolidation ("one or a
+#: few latest stable versions"; older ones serve as backups).
+KEEP_VERSIONS = 2
+
+#: Marker value for synthetic (size-only) extents.
+SYNTHETIC = "<data>"
+
+
+class SegmentError(Exception):
+    """Bad segment operation (missing version, write to committed, ...)."""
+
+
+@dataclass
+class StoredSegment:
+    """One version of one segment as held by a provider."""
+
+    segid: int
+    version: int
+    size: int = 0
+    committed: bool = False
+    base_version: Optional[int] = None   # COW parent (same store)
+    extents: RangeMap = field(default_factory=RangeMap)
+    replication_degree: int = 1
+    alpha: float = 0.5
+    placement: str = "load"              # "load" | "locality" | "random"
+    last_access: float = 0.0             # LAT: the temperature measure
+    expires_at: Optional[float] = None   # shadows only
+    home_hint: str = ""
+    meta: Optional[dict] = None          # index segments: layout + attach
+    created_by: str = ""                 # client that opened the shadow
+    pinned: bool = False                 # milestone: consolidation-exempt
+
+    @property
+    def fs_name(self) -> str:
+        """The native-FS file name backing this version."""
+        return f"{self.segid:032x}.{self.version}"
+
+    def written_bytes(self) -> int:
+        """Bytes of extent data recorded in this version alone."""
+        return self.extents.covered_bytes()
+
+
+class SegmentStore:
+    """All segment versions on one provider, backed by its local FS."""
+
+    def __init__(self, sim, fs: LocalFS, shadow_ttl: float = DEFAULT_SHADOW_TTL):
+        self.sim = sim
+        self.fs = fs
+        self.shadow_ttl = shadow_ttl
+        self._segs: Dict[Tuple[int, int], StoredSegment] = {}
+
+    # -- inspection ---------------------------------------------------
+    def get(self, segid: int, version: int) -> Optional[StoredSegment]:
+        """The stored version, or None."""
+        return self._segs.get((segid, version))
+
+    def versions_of(self, segid: int) -> List[int]:
+        """All locally held version numbers, ascending."""
+        return sorted(v for (s, v) in self._segs if s == segid)
+
+    def latest_committed(self, segid: int) -> Optional[StoredSegment]:
+        """Newest committed version held here, or None."""
+        best = None
+        for (s, v), seg in self._segs.items():
+            if s == segid and seg.committed and (best is None or v > best.version):
+                best = seg
+        return best
+
+    def committed_segments(self) -> List[StoredSegment]:
+        """Latest committed version of every segment held here."""
+        latest: Dict[int, StoredSegment] = {}
+        for (s, v), seg in self._segs.items():
+            if seg.committed and (s not in latest or v > latest[s].version):
+                latest[s] = seg
+        return list(latest.values())
+
+    def __len__(self) -> int:
+        return len(self._segs)
+
+    def bytes_stored(self) -> int:
+        """Total extent bytes across every held version."""
+        return sum(seg.written_bytes() for seg in self._segs.values())
+
+    # -- creation ---------------------------------------------------------
+    def create(self, segid: int, version: int = 1, *,
+               replication_degree: int = 1, alpha: float = 0.5,
+               placement: str = "load", committed: bool = False,
+               creator: str = ""):
+        """Create a brand-new (empty) segment version."""
+        key = (segid, version)
+        if key in self._segs:
+            raise SegmentError(f"segment {segid:#x} v{version} exists")
+        seg = StoredSegment(segid=segid, version=version,
+                            replication_degree=replication_degree,
+                            alpha=alpha, placement=placement,
+                            committed=committed, created_by=creator,
+                            last_access=self.sim.now)
+        if not committed:
+            seg.expires_at = self.sim.now + self.shadow_ttl
+        # Reserve the key before yielding so concurrent creators see it.
+        self._segs[key] = seg
+        try:
+            # Lazy: the inode write is folded into the first data write.
+            yield from self.fs.create(seg.fs_name, charge=False)
+        except Exception:
+            del self._segs[key]
+            raise
+        return seg
+
+    def create_shadow(self, segid: int, base_version: int, creator: str = ""):
+        """Shadow-copy the base version: blank segment truncated to its size."""
+        base = self._segs.get((segid, base_version))
+        if base is None or not base.committed:
+            raise SegmentError(
+                f"no committed base {segid:#x} v{base_version} to shadow"
+            )
+        new_version = base_version + 1
+        key = (segid, new_version)
+        if key in self._segs:
+            raise SegmentError(f"shadow {segid:#x} v{new_version} already exists")
+        seg = StoredSegment(segid=segid, version=new_version, size=base.size,
+                            base_version=base_version,
+                            replication_degree=base.replication_degree,
+                            alpha=base.alpha, placement=base.placement,
+                            last_access=self.sim.now,
+                            expires_at=self.sim.now + self.shadow_ttl,
+                            home_hint=base.home_hint, created_by=creator,
+                            meta=dict(base.meta) if base.meta else None)
+        self._segs[key] = seg
+        try:
+            # A shadow is "an index structure kept in memory" until data
+            # arrives (Section 3.5): no device I/O at creation.
+            yield from self.fs.create(seg.fs_name, charge=False)
+            self.fs.set_size(seg.fs_name, base.size)
+        except Exception:
+            self._segs.pop(key, None)
+            raise
+        return seg
+
+    # -- mutation ---------------------------------------------------------
+    def write(self, segid: int, version: int, offset: int, length: int,
+              data: Optional[bytes] = None, sequential: bool = False):
+        """Write a range into an uncommitted shadow (or a brand-new v1)."""
+        seg = self._require(segid, version)
+        if seg.committed:
+            raise SegmentError(
+                f"segment {segid:#x} v{version} is committed (immutable)"
+            )
+        if data is not None and len(data) != length:
+            raise SegmentError("data/length mismatch")
+        if length > 0:
+            seg.extents.set_range(
+                offset, offset + length,
+                (offset, bytes(data)) if data is not None else SYNTHETIC)
+        seg.size = max(seg.size, offset + length)
+        seg.last_access = self.sim.now
+        yield from self.fs.write(seg.fs_name, offset, length, sequential)
+        return seg
+
+    def write_in_place(self, segid: int, version: int, offset: int, length: int,
+                       data: Optional[bytes] = None, sequential: bool = False):
+        """Versioning-disabled write: mutate a committed segment directly.
+
+        Used when an application opts out of versioning (Section 3.5),
+        e.g. for the parallel byte-range sharing primitive; replication
+        is the caller's problem (it is disabled in that mode).
+        """
+        seg = self._require(segid, version)
+        if data is not None and len(data) != length:
+            raise SegmentError("data/length mismatch")
+        if length > 0:
+            seg.extents.set_range(
+                offset, offset + length,
+                (offset, bytes(data)) if data is not None else SYNTHETIC)
+        seg.size = max(seg.size, offset + length)
+        seg.last_access = self.sim.now
+        yield from self.fs.write(seg.fs_name, offset, length, sequential)
+        return seg
+
+    def truncate(self, segid: int, version: int, size: int):
+        """Resize an uncommitted version (metadata I/O)."""
+        seg = self._require(segid, version)
+        if seg.committed:
+            raise SegmentError("cannot truncate a committed version")
+        seg.size = size
+        seg.extents.truncate(size)
+        yield from self.fs.truncate(seg.fs_name, size)
+
+    def commit(self, segid: int, version: int):
+        """Make a shadow immutable; flushes its in-memory index to disk.
+
+        The flush costs one small I/O only when the shadow carries data
+        extents whose COW index must persist; index segments persist
+        their metadata through the commit-time meta write instead.
+        """
+        seg = self._require(segid, version)
+        if seg.committed:
+            return seg
+        seg.committed = True
+        seg.expires_at = None
+        if len(seg.extents) > 0 and seg.meta is None:
+            yield self.fs.device.io(4096)
+        return seg
+
+    def drop(self, segid: int, version: int):
+        """Discard a version (aborted shadow, or replaced replica)."""
+        seg = self._segs.pop((segid, version), None)
+        if seg is None:
+            return
+        if self.fs.exists(seg.fs_name):
+            yield from self.fs.unlink(seg.fs_name)
+
+    def delete_segment(self, segid: int):
+        """Remove every version of a segment.
+
+        All versions live under one directory on the native FS, so the
+        family goes in a single positioned metadata I/O.
+        """
+        any_allocated = False
+        for v in self.versions_of(segid):
+            seg = self._segs.pop((segid, v))
+            f = self.fs.files.pop(seg.fs_name, None)
+            if f is not None:
+                self.fs.used -= f.allocated
+                any_allocated = any_allocated or f.allocated > 0
+        if any_allocated:
+            yield self.fs.device.io(4096)
+
+    def renew_shadow(self, segid: int, version: int) -> None:
+        """Reset a shadow's expiration timer (§3.5)."""
+        seg = self._require(segid, version)
+        if seg.committed:
+            raise SegmentError("not a shadow")
+        seg.expires_at = self.sim.now + self.shadow_ttl
+
+    def expire_shadows(self) -> List[Tuple[int, int]]:
+        """Names of shadows past their TTL (caller drops them)."""
+        now = self.sim.now
+        return [
+            (s, v) for (s, v), seg in self._segs.items()
+            if not seg.committed and seg.expires_at is not None
+            and seg.expires_at <= now
+        ]
+
+    # -- reading ------------------------------------------------------------
+    def resolve(self, segid: int, version: int, offset: int,
+                length: int) -> List[Tuple[int, int, int]]:
+        """Which stored versions serve [offset, offset+length) of ``version``.
+
+        Returns (version, start, end) pieces; unwritten-anywhere regions
+        resolve to the oldest version in the chain (holes read as zeros).
+        """
+        seg = self._require(segid, version)
+        if offset + length > seg.size:
+            raise SegmentError(
+                f"read past end of {segid:#x} v{version} "
+                f"({offset}+{length} > {seg.size})"
+            )
+        pieces: List[Tuple[int, int, int]] = []
+        pending = [(offset, offset + length)]
+        v: Optional[int] = version
+        while pending and v is not None:
+            cur = self._segs.get((segid, v))
+            if cur is None:
+                break
+            next_pending: List[Tuple[int, int]] = []
+            for lo, hi in pending:
+                for s, e, val in cur.extents.slices(lo, hi):
+                    if val is None:
+                        next_pending.append((s, e))
+                    else:
+                        pieces.append((v, s, e))
+            pending = next_pending
+            v = cur.base_version
+        for lo, hi in pending:  # true holes: zeros from the oldest version
+            pieces.append((version, lo, hi))
+        pieces.sort(key=lambda p: p[1])
+        return pieces
+
+    def read(self, segid: int, version: int, offset: int, length: int,
+             sequential: bool = False):
+        """Charge disk time for a read; returns the resolved bytes.
+
+        Returns ``None`` when the whole range is synthetic (size-only
+        content) — materializing gigabytes of zeros would defeat the
+        point of synthetic extents.  In mixed ranges, synthetic parts
+        read back as zero bytes.
+        """
+        seg = self._require(segid, version)
+        pieces = self.resolve(segid, version, offset, length)
+        seg.last_access = self.sim.now
+        yield from self.fs.read(seg.fs_name, offset, min(length, max(0, seg.size - offset)),
+                                sequential)
+        has_literal = any(
+            isinstance(val, tuple)
+            for v, s, e in pieces
+            for _cs, _ce, val in self._segs[(segid, v)].extents.slices(s, e)
+        )
+        if not has_literal:
+            return None
+        chunks: List[bytes] = []
+        for v, s, e in pieces:
+            src = self._segs[(segid, v)]
+            for cs, ce, val in src.extents.slices(s, e):
+                if isinstance(val, tuple):
+                    orig_start, payload = val
+                    chunks.append(payload[cs - orig_start:ce - orig_start])
+                else:
+                    chunks.append(b"\x00" * (ce - cs))
+        return b"".join(chunks)
+
+    # -- replica ingestion & consolidation -----------------------------
+    def ingest(self, segid: int, version: int, size: int, *,
+               replication_degree: int = 1, alpha: float = 0.5,
+               placement: str = "load", meta: Optional[dict] = None,
+               data: Optional[bytes] = None,
+               write_bytes: Optional[int] = None):
+        """Install a full committed copy (replication / migration arrival)."""
+        key = (segid, version)
+        if key in self._segs:
+            raise SegmentError(f"already hold {segid:#x} v{version}")
+        seg = StoredSegment(segid=segid, version=version, size=size,
+                            committed=True,
+                            replication_degree=replication_degree,
+                            alpha=alpha, placement=placement,
+                            meta=dict(meta) if meta else None,
+                            last_access=self.sim.now)
+        if size > 0:
+            seg.extents.set_range(0, size,
+                                  (0, bytes(data)) if data is not None else SYNTHETIC)
+        self._segs[key] = seg
+        nbytes = size if write_bytes is None else min(write_bytes, size)
+        try:
+            yield from self.fs.create(seg.fs_name, charge=False)
+            if size > 0:
+                # Disk charge reflects what crossed the wire (a diff sync
+                # rewrites only the changed bytes); space is booked for
+                # the whole segment either way.
+                if nbytes > 0:
+                    yield from self.fs.write(seg.fs_name, 0, nbytes,
+                                             sequential=True)
+                self.fs.set_size(seg.fs_name, size)
+                f = self.fs.files[seg.fs_name]
+                growth = size - f.allocated
+                if growth > 0:
+                    f.allocated = size
+                    self.fs.used += growth
+        except Exception:
+            self._segs.pop(key, None)
+            if self.fs.exists(seg.fs_name):
+                yield from self.fs.unlink(seg.fs_name)
+            raise
+        return seg
+
+    def export_diff(self, segid: int, from_version: int, to_version: int):
+        """The changed regions of (from, to] with their content.
+
+        Returns a list of ``(start, end, bytes_or_None)`` covering every
+        byte that differs between the two versions (None = synthetic), or
+        ``None`` when the local chain cannot produce the diff (missing
+        intermediate version) and a full transfer is needed.
+        """
+        changed = RangeMap()
+        for v in range(from_version + 1, to_version + 1):
+            seg = self._segs.get((segid, v))
+            if seg is None:
+                return None
+            for s, e, _ in seg.extents:
+                changed.set_range(s, e, True)
+        target = self._segs.get((segid, to_version))
+        if target is None:
+            return None
+        regions: List[Tuple[int, int, Optional[bytes]]] = []
+        for s, e, _ in changed:
+            s, e = min(s, target.size), min(e, target.size)
+            if s >= e:
+                continue
+            for v2, ps, pe in self.resolve(segid, to_version, s, e - s):
+                src = self._segs[(segid, v2)]
+                for cs, ce, val in src.extents.slices(ps, pe):
+                    if isinstance(val, tuple):
+                        orig, payload = val
+                        regions.append((cs, ce, payload[cs - orig:ce - orig]))
+                    elif val is not None:
+                        regions.append((cs, ce, None))
+        return regions
+
+    def apply_diff(self, segid: int, new_version: int, size: int,
+                   regions, *, replication_degree: int = 1,
+                   alpha: float = 0.5, placement: str = "load",
+                   meta: Optional[dict] = None):
+        """Install a new committed version from a diff against the local
+        latest (replica lazy sync, Section 3.6)."""
+        key = (segid, new_version)
+        if key in self._segs:
+            raise SegmentError(f"already hold {segid:#x} v{new_version}")
+        old = self.latest_committed(segid)
+        seg = StoredSegment(segid=segid, version=new_version, size=size,
+                            committed=True,
+                            base_version=old.version if old else None,
+                            replication_degree=replication_degree,
+                            alpha=alpha, placement=placement,
+                            meta=dict(meta) if meta else None,
+                            last_access=self.sim.now)
+        nbytes = 0
+        for s, e, data in regions:
+            seg.extents.set_range(
+                s, e, (s, bytes(data)) if data is not None else SYNTHETIC)
+            nbytes += e - s
+        self._segs[key] = seg
+        try:
+            yield from self.fs.create(seg.fs_name, charge=False)
+            if nbytes > 0:
+                yield from self.fs.write(seg.fs_name, 0, nbytes,
+                                         sequential=True)
+            self.fs.set_size(seg.fs_name, size)
+        except Exception:
+            self._segs.pop(key, None)
+            raise
+        return seg
+
+    def diff_bytes(self, segid: int, from_version: int, to_version: int) -> int:
+        """Bytes that changed in (from_version, to_version] — the lazy-sync
+        transfer size."""
+        total = RangeMap()
+        for v in range(from_version + 1, to_version + 1):
+            seg = self._segs.get((segid, v))
+            if seg is None:
+                continue
+            for s, e, val in seg.extents:
+                total.set_range(s, e, True)
+        return total.covered_bytes()
+
+    def pin(self, segid: int, version: int) -> None:
+        """Mark a committed version as a milestone: consolidation keeps it
+        forever ("milestone versions that will never be consolidated")."""
+        seg = self._require(segid, version)
+        if not seg.committed:
+            raise SegmentError("only committed versions can be pinned")
+        seg.pinned = True
+
+    def unpin(self, segid: int, version: int) -> None:
+        """Remove a milestone pin (no-op if absent)."""
+        seg = self._segs.get((segid, version))
+        if seg is not None:
+            seg.pinned = False
+
+    def consolidate(self, segid: int, keep: int = KEEP_VERSIONS):
+        """Merge old committed versions into the newest ``keep`` ones.
+
+        Pinned (milestone) versions are always retained.  Every retained
+        version is materialized — its holes filled from the chain below —
+        before anything beneath it is dropped, so COW chains never dangle.
+        """
+        committed = [v for v in self.versions_of(segid)
+                     if self._segs[(segid, v)].committed]
+        if len(committed) <= keep:
+            return
+        retained = set(committed[-keep:]) | {
+            v for v in committed if self._segs[(segid, v)].pinned
+        }
+        doomed = [v for v in committed if v not in retained]
+        if not doomed:
+            return
+        for v in sorted(retained):
+            yield from self._materialize(segid, v)
+        for v in doomed:
+            yield from self.drop(segid, v)
+
+    def _materialize(self, segid: int, version: int):
+        """Fill a version's holes with content from its ancestors so it
+        no longer depends on them."""
+        seg = self._segs[(segid, version)]
+        if seg.base_version is None:
+            return
+        for lo, hi in seg.extents.gaps(0, seg.size):
+            pieces = self.resolve(segid, version, lo, hi - lo)
+            for v, s, e in pieces:
+                if v == version:
+                    continue  # a true hole: still reads as zeros
+                src = self._segs[(segid, v)]
+                for cs, ce, val in src.extents.slices(s, e):
+                    if isinstance(val, tuple):
+                        orig, payload = val
+                        seg.extents.set_range(
+                            cs, ce, (cs, payload[cs - orig:ce - orig])
+                        )
+                    elif val is not None:
+                        seg.extents.set_range(cs, ce, SYNTHETIC)
+            yield from self.fs.write(seg.fs_name, lo, hi - lo)
+        seg.base_version = None
+
+    # -- helpers ----------------------------------------------------------
+    def _require(self, segid: int, version: int) -> StoredSegment:
+        seg = self._segs.get((segid, version))
+        if seg is None:
+            raise SegmentError(f"no segment {segid:#x} v{version} here")
+        return seg

@@ -1,0 +1,247 @@
+"""Volume deployment: wire a Sorrento cluster out of a hardware spec.
+
+``SorrentoDeployment`` builds the simulator, fabric, nodes, one namespace
+server, one storage provider per exporting node, and client stubs — the
+"configured and maintained incrementally" cluster of Section 2.2.  It also
+exposes the failure-injection hooks the experiments use (crash a provider,
+add a fresh one at runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster import ClusterSpec, Node, NodeSpec
+from repro.core.client import SorrentoClient
+from repro.core.membership import MembershipManager
+from repro.core.namespace import NamespaceServer
+from repro.core.params import SorrentoParams
+from repro.core.provider import StorageProvider
+from repro.network import Fabric
+from repro.sim import RngStreams, Simulator
+
+
+@dataclass
+class SorrentoConfig:
+    """Top-level deployment configuration."""
+
+    volume: str = "vol0"
+    params: SorrentoParams = field(default_factory=SorrentoParams)
+    seed: int = 0
+    n_providers: Optional[int] = None   # cap exporting nodes used (paper's
+    #                                     "each experiment may not use all")
+    ns_on: Optional[str] = None         # hostid for the namespace server
+    ns_standby_on: Optional[str] = None  # hot-standby namespace replica
+    #                                      (the §3.1 availability extension)
+    ns_partitions_on: Optional[List[str]] = None  # directory-tree
+    #                                      partitioning: one namespace
+    #                                      server per listed host, each
+    #                                      owning a shard of the top-level
+    #                                      directories (§3.1's other
+    #                                      scaling approach)
+
+
+class SorrentoDeployment:
+    """A running Sorrento volume on a simulated cluster."""
+
+    def __init__(self, spec: ClusterSpec, config: Optional[SorrentoConfig] = None):
+        self.spec = spec
+        self.config = config or SorrentoConfig()
+        self.params = self.config.params
+        self.sim = Simulator()
+        self.rngs = RngStreams(self.config.seed)
+        self.fabric = Fabric(self.sim, latency=spec.latency)
+        self.nodes: Dict[str, Node] = {}
+        self.providers: Dict[str, StorageProvider] = {}
+        self.clients: List[SorrentoClient] = []
+
+        self.memberships: Dict[str, MembershipManager] = {}
+        storage_specs = spec.storage_nodes
+        if self.config.n_providers is not None:
+            storage_specs = storage_specs[: self.config.n_providers]
+        used_storage = {s.name for s in storage_specs}
+        for nspec in spec.nodes:
+            node = Node(self.sim, self.fabric, nspec)
+            self.nodes[nspec.name] = node
+            if nspec.name not in used_storage:
+                # Non-provider nodes listen to heartbeats so client stubs
+                # start with a warm membership view.
+                self.memberships[nspec.name] = MembershipManager(
+                    node, interval=self.params.heartbeat_interval,
+                    announce=False,
+                )
+
+        # Namespace server: by default the first non-exporting node with a
+        # disk preference, else the first storage node.
+        ns_host = self.config.ns_on
+        if ns_host is None:
+            ns_host = storage_specs[0].name if storage_specs else spec.nodes[0].name
+        ns_node = self.nodes[ns_host]
+        if ns_node.fs is None:
+            raise ValueError(
+                f"namespace server host {ns_host} needs a local disk"
+            )
+        self.ns = NamespaceServer(ns_node, self.config.volume, self.params)
+        self.ns_host = ns_host
+        self.ns_standby: Optional[NamespaceServer] = None
+        self.ns_hosts = [ns_host]
+        # Directory-tree partitioning: extra namespace servers, each
+        # owning the top-level directories that hash to it.
+        self.ns_partition_servers: Dict[str, NamespaceServer] = {}
+        self.ns_partition_hosts: Optional[List[str]] = None
+        if self.config.ns_partitions_on:
+            if self.config.ns_standby_on:
+                raise ValueError(
+                    "namespace partitioning and standby replication are "
+                    "separate deployments; pick one"
+                )
+            self.ns_partition_hosts = list(self.config.ns_partitions_on)
+            for host in self.ns_partition_hosts:
+                if host == ns_host:
+                    self.ns_partition_servers[host] = self.ns
+                    continue
+                pnode = self.nodes[host]
+                if pnode.fs is None:
+                    raise ValueError(
+                        f"namespace partition host {host} needs a disk")
+                self.ns_partition_servers[host] = NamespaceServer(
+                    pnode, self.config.volume, self.params)
+        if self.config.ns_standby_on is not None:
+            standby_node = self.nodes[self.config.ns_standby_on]
+            if standby_node.fs is None:
+                raise ValueError("namespace standby host needs a local disk")
+            self.ns_standby = NamespaceServer(
+                standby_node, self.config.volume, self.params)
+            self.ns.attach_standby(self.config.ns_standby_on)
+            self.ns_hosts.append(self.config.ns_standby_on)
+
+        for nspec in storage_specs:
+            name = nspec.name
+            node = self.nodes[name]
+            self.providers[name] = StorageProvider(
+                node, self.config.volume, self.params,
+                rng=self.rngs.py(f"provider:{name}"),
+            )
+            self.memberships[name] = self.providers[name].membership
+
+    # ------------------------------------------------------------ clients
+    def client_on(self, hostid: str) -> SorrentoClient:
+        """A client stub running on the given node."""
+        node = self.nodes[hostid]
+        client = SorrentoClient(
+            node, self.ns_hosts, self.params,
+            rng=self.rngs.py(f"client:{hostid}:{len(self.clients)}"),
+            membership=self.memberships.get(hostid),
+            ns_partitions=self.ns_partition_hosts,
+        )
+        self.clients.append(client)
+        return client
+
+    def clients_on_compute(self, n: int) -> List[SorrentoClient]:
+        """``n`` clients spread round-robin over non-exporting nodes."""
+        compute = [s.name for s in self.spec.nodes
+                   if s.name not in self.providers]
+        if not compute:
+            compute = list(self.providers)
+        return [self.client_on(compute[i % len(compute)]) for i in range(n)]
+
+    # ------------------------------------------------------ orchestration
+    def warm_up(self, seconds: float = 8.0) -> None:
+        """Let heartbeats populate every membership view."""
+        self.sim.run(until=self.sim.now + seconds)
+
+    def run(self, gen, until: Optional[float] = None):
+        """Drive one client/workload process to completion."""
+        return self.sim.run_process(self.sim.process(gen), until=until)
+
+    # ------------------------------------------------ failure injection
+    def crash_provider(self, hostid: str, wipe: bool = False) -> None:
+        """Fail a provider node (disk contents survive)."""
+        self.nodes[hostid].crash(wipe=wipe)
+
+    def restart_provider(self, hostid: str) -> None:
+        """Bring a crashed provider back (location table rebuilt)."""
+        self.providers[hostid].restart()
+
+    def add_provider(self, nspec: NodeSpec) -> StorageProvider:
+        """Attach a brand-new storage node at runtime (Section 2.2)."""
+        node = Node(self.sim, self.fabric, nspec)
+        self.nodes[nspec.name] = node
+        provider = StorageProvider(
+            node, self.config.volume, self.params,
+            rng=self.rngs.py(f"provider:{nspec.name}"),
+        )
+        self.providers[nspec.name] = provider
+        return provider
+
+    # ------------------------------------------------------ preloading
+    def preload_file(self, path: str, size: int, degree: int = 1,
+                     alpha: float = 0.5, placement: str = "load",
+                     on: Optional[List[str]] = None) -> dict:
+        """Plant a committed file directly into provider state.
+
+        Benchmark setup only: bypasses the network/disk so pre-populating
+        an 80 GB dataset (Figure 11) costs no simulated or wall time.
+        Segment placement is round-robin over ``on`` (default: all
+        providers), replicas on distinct nodes.
+        """
+        from repro.core.layout import make_layout
+        from repro.core.namespace import FileEntry, _file_key
+        from repro.core.segment import SYNTHETIC, StoredSegment
+
+        rng = self.rngs.py(f"preload:{path}")
+        hosts = on or sorted(self.providers)
+        fileid = self.rngs.py("preload-ids").getrandbits(128)
+        layout = make_layout("linear", lambda: rng.getrandbits(128))
+        layout.grow_to(size, lambda: rng.getrandbits(128))
+        start = rng.randrange(len(hosts))
+        members = sorted(self.providers)
+
+        def plant(segid, seg_size, meta, idx):
+            owners = [hosts[(start + idx + r) % len(hosts)]
+                      for r in range(min(degree, len(hosts)))]
+            for owner in dict.fromkeys(owners):
+                provider = self.providers[owner]
+                seg = StoredSegment(
+                    segid=segid, version=1, size=seg_size, committed=True,
+                    replication_degree=degree, alpha=alpha,
+                    placement=placement, meta=meta,
+                    last_access=self.sim.now,
+                )
+                if seg_size > 0:
+                    seg.extents.set_range(0, seg_size, SYNTHETIC)
+                provider.store._segs[(segid, 1)] = seg
+                # Direct FS accounting (no simulated I/O):
+                from repro.storage.filesystem import _File
+
+                fs = provider.node.fs
+                fs.files[seg.fs_name] = _File(size=seg_size, allocated=seg_size)
+                fs.used += seg_size
+                home = provider.ring.home_host(segid, members)
+                self.providers[home].loc.update(
+                    segid, owner, 1, degree, seg_size, self.sim.now)
+
+        for i, ref in enumerate(layout.segments):
+            plant(ref.segid, ref.size, None, i)
+        index_meta = {"layout": layout, "attached": None, "attached_len": 0}
+        plant(fileid, 4096, index_meta, len(layout.segments))
+        entry = FileEntry(path=path, fileid=fileid, version=1,
+                          ctime=self.sim.now, mtime=self.sim.now,
+                          degree=degree, alpha=alpha,
+                          placement=placement).to_dict()
+        self.ns.db.put(_file_key(path), entry)
+        return entry
+
+    # ------------------------------------------------------------- metrics
+    def storage_utilizations(self) -> Dict[str, float]:
+        """Live providers' consumed-space fractions."""
+        return {
+            h: p.node.storage_utilization
+            for h, p in self.providers.items()
+            if p.node.alive
+        }
+
+    def total_bytes_stored(self) -> int:
+        """Sum of extent bytes across all providers."""
+        return sum(p.store.bytes_stored() for p in self.providers.values())

@@ -1,0 +1,15 @@
+"""Experiment harnesses — one module per table/figure of Section 4.
+
+Each module exposes ``run(scale=...)`` returning a structured result and
+``main()`` printing it in the paper's format.  ``scale < 1`` shrinks data
+volumes and durations proportionally (the DES makes shapes, not absolute
+numbers; see EXPERIMENTS.md).
+
+- :mod:`repro.experiments.fig09_small_response` — Figure 9 table
+- :mod:`repro.experiments.fig10_small_throughput` — Figure 10
+- :mod:`repro.experiments.fig11_bulk` — Figure 11
+- :mod:`repro.experiments.fig12_apps` — Figure 12 table
+- :mod:`repro.experiments.fig13_failure` — Figure 13
+- :mod:`repro.experiments.fig14_crawler` — Figure 14 table
+- :mod:`repro.experiments.fig15_locality` — Figure 15
+"""

@@ -1,0 +1,118 @@
+"""Shared experiment plumbing: deployment builders and report tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import NFSDeployment, PVFSDeployment
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.params import SorrentoParams
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+def cluster_a_like(n_storage: int = 10, n_clients: int = 17,
+                   capacity: int = 21 * GB) -> ClusterSpec:
+    """A reduced Cluster A: P-II 400 MHz duals, one SCSI disk per storage
+    node (2 Cheetah + the rest Barracuda, as in Figure 8)."""
+    nodes = []
+    for i in range(n_storage):
+        disk = "cheetah-st373405" if i < 2 else "barracuda-st336737"
+        nodes.append(NodeSpec(name=f"a{i:02d}", cpus=2, cpu_ghz=0.4,
+                              disks=(disk,), export_capacity=capacity))
+    nodes += [NodeSpec(name=f"ac{i:02d}", cpus=2, cpu_ghz=0.4)
+              for i in range(n_clients)]
+    return ClusterSpec("cluster-a-like", nodes)
+
+
+def cluster_b_like(n_storage: int = 10, n_clients: int = 17,
+                   capacity: int = 176 * GB) -> ClusterSpec:
+    """A reduced Cluster B: P-III 1.4 GHz duals, RAID-0 of three
+    Ultrastars per storage node."""
+    nodes = [
+        NodeSpec(name=f"b{i:02d}", cpus=2, cpu_ghz=1.4, memory=4 * GB,
+                 disks=("ultrastar-dk32ej",) * 3, export_capacity=capacity)
+        for i in range(n_storage)
+    ]
+    nodes += [NodeSpec(name=f"bc{i:02d}", cpus=2, cpu_ghz=1.4, memory=4 * GB)
+              for i in range(n_clients)]
+    return ClusterSpec("cluster-b-like", nodes)
+
+
+def sorrento_on(spec: ClusterSpec, n_providers: int, degree: int = 1,
+                seed: int = 0, warm: float = 8.0,
+                **param_overrides) -> SorrentoDeployment:
+    """Sorrento-(n, r) on a cluster spec."""
+    params = SorrentoParams(default_degree=degree, **param_overrides)
+    dep = SorrentoDeployment(
+        spec, SorrentoConfig(params=params, seed=seed, n_providers=n_providers)
+    )
+    dep.warm_up(warm)
+    return dep
+
+
+def pvfs_on(spec: ClusterSpec, n_iods: int, seed: int = 0) -> PVFSDeployment:
+    """PVFS-n on a cluster spec (mgr takes one extra storage node)."""
+    dep = PVFSDeployment(spec, n_iods=n_iods, seed=seed)
+    dep.warm_up()
+    return dep
+
+
+def nfs_on(spec: ClusterSpec, seed: int = 0) -> NFSDeployment:
+    dep = NFSDeployment(spec, seed=seed)
+    dep.warm_up()
+    return dep
+
+
+def run_until_done(sim, procs, max_time: float = 1e7) -> None:
+    """Advance the sim until every process finishes.
+
+    Unlike ``sim.run(until=horizon)`` this does not grind through hours
+    of heartbeat events after the workload completes.
+    """
+    while not all(p.triggered for p in procs):
+        if not sim._heap:
+            raise RuntimeError("deadlock: processes pending, no events")
+        if sim.now > max_time:
+            raise RuntimeError(f"exceeded {max_time} simulated seconds")
+        sim.step()
+
+
+# ----------------------------------------------------------------- report
+def format_table(title: str, headers: Sequence[str],
+                 rows: List[Sequence], widths: Optional[List[int]] = None) -> str:
+    """Fixed-width text table in the style of the paper's figures."""
+    cols = len(headers)
+    if widths is None:
+        widths = []
+        for c in range(cols):
+            cells = [str(headers[c])] + [_fmt(r[c]) for r in rows]
+            widths.append(max(len(x) for x in cells) + 2)
+    out = [title]
+    out.append("".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    out.append("-" * sum(widths))
+    for row in rows:
+        out.append("".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def series_to_text(title: str, xs: Sequence[float], ys: Dict[str, Sequence[float]],
+                   xlabel: str, ylabel: str) -> str:
+    """Render time/size series as aligned columns (one per system)."""
+    headers = [xlabel] + list(ys)
+    rows = [[x] + [ys[k][i] for k in ys] for i, x in enumerate(xs)]
+    return format_table(f"{title}  ({ylabel})", headers, rows)

@@ -1,0 +1,80 @@
+"""Figure 10: sustained small-file session throughput, Cluster A.
+
+Clients loop create/write-12KB/close sessions; y-axis is completed
+sessions per second, x-axis the number of concurrent clients (1-16).
+
+Shape targets (paper): NFS highest, saturating ~700 sessions/s; PVFS
+saturates early at ~64 sessions/s (metadata-server disk bound); Sorrento
+scales nearly linearly through 16 clients (they could not saturate it;
+the namespace server's theoretical bound is 400-500 sessions/s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import (
+    cluster_a_like,
+    format_table,
+    nfs_on,
+    pvfs_on,
+    sorrento_on,
+)
+from repro.workloads.smallfile import run_figure10
+
+CLIENT_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+def run(client_counts=CLIENT_COUNTS, duration: float = 20.0,
+        seed: int = 0) -> Dict[str, Dict[int, float]]:
+    """Returns {system: {n_clients: sessions_per_second}}."""
+    results: Dict[str, Dict[int, float]] = {}
+    results["NFS"] = run_figure10(
+        lambda: nfs_on(cluster_a_like(), seed=seed), client_counts, duration)
+    results["PVFS-8"] = run_figure10(
+        lambda: pvfs_on(cluster_a_like(), n_iods=8, seed=seed),
+        client_counts, duration)
+    results["Sorrento-(8,2)"] = run_figure10(
+        lambda: sorrento_on(cluster_a_like(), n_providers=8, degree=2,
+                            seed=seed),
+        client_counts, duration)
+    return results
+
+
+def report(results: Dict[str, Dict[int, float]]) -> str:
+    systems = list(results)
+    counts: List[int] = sorted(next(iter(results.values())))
+    rows = [[n] + [results[s][n] for s in systems] for n in counts]
+    return format_table(
+        "Figure 10 - small file I/O throughput (sessions/second)",
+        ["clients"] + systems, rows)
+
+
+def checks(results: Dict[str, Dict[int, float]]) -> List[str]:
+    """Shape assertions; returns a list of violated expectations."""
+    bad = []
+    nfs, pvfs, sor = (results["NFS"], results["PVFS-8"],
+                      results["Sorrento-(8,2)"])
+    top = max(nfs)
+    if not nfs[top] > sor[top] > pvfs[top]:
+        bad.append("expected NFS > Sorrento > PVFS at max clients")
+    # PVFS saturates: doubling clients from 8 to 16 gains < 25%.
+    if 16 in pvfs and 8 in pvfs and pvfs[16] > pvfs[8] * 1.25:
+        bad.append("PVFS did not saturate")
+    # Sorrento scales: 16 clients >= 3x throughput of 2 clients.
+    if 16 in sor and 2 in sor and sor[16] < 3 * sor[2]:
+        bad.append("Sorrento throughput did not scale")
+    return bad
+
+
+def main(duration: float = 20.0) -> str:
+    results = run(duration=duration)
+    text = report(results)
+    for problem in checks(results):
+        text += f"\nSHAPE VIOLATION: {problem}"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

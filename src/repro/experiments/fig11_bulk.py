@@ -1,0 +1,113 @@
+"""Figure 11: large-file read/write performance, Cluster B.
+
+``bulkread``/``bulkwrite`` move 4 MB requests at random 4 KB-aligned
+offsets within 512 MB files; each client moves 256 MB; clients use
+disjoint file sets.  Systems: NFS, PVFS-8, Sorrento-(8,2) (lazy), plus
+Sorrento-(8,2) with eager propagation for writes.
+
+Shape targets: NFS flat-lines ~8 MB/s; PVFS and Sorrento scale with
+clients until the storage-node links saturate; reads Sorrento ≈ PVFS;
+writes PVFS ≈ 2x Sorrento (every Sorrento byte lands on two replicas);
+lazy beats eager at low client counts, converges at saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.common import (
+    cluster_b_like,
+    format_table,
+    nfs_on,
+    pvfs_on,
+    sorrento_on,
+)
+from repro.workloads.bulk import populate, run_bulk
+
+MB = 1 << 20
+CLIENT_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+def run(client_counts: Sequence[int] = CLIENT_COUNTS, scale: float = 0.125,
+        seed: int = 0) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Returns {kind: {system: {n_clients: MB/s}}}.
+
+    ``scale=1`` is the paper's setup (160 x 512 MB files, 256 MB moved
+    per client); the default shrinks both eightfold.
+    """
+    file_size = max(16 * MB, int(512 * MB * scale))
+    n_files = max(8, int(160 * scale))
+    per_client = max(8 * MB, int(256 * MB * scale))
+    out: Dict[str, Dict[str, Dict[int, float]]] = {"read": {}, "write": {}}
+
+    def sweep(dep_factory, kind: str):
+        rates = {}
+        for n in client_counts:
+            dep = dep_factory()
+            paths = populate(dep, n_files, file_size,
+                             degree=2 if hasattr(dep, "providers") else 1)
+            rates[n] = run_bulk(dep, n, write=(kind == "write"), paths=paths,
+                                file_size=file_size,
+                                per_client_bytes=per_client, seed=seed)
+        return rates
+
+    make_nfs = lambda: nfs_on(cluster_b_like(n_storage=9), seed=seed)  # noqa: E731
+    make_pvfs = lambda: pvfs_on(cluster_b_like(n_storage=9), n_iods=8,  # noqa: E731
+                                seed=seed)
+    make_sor = lambda: sorrento_on(cluster_b_like(n_storage=8),  # noqa: E731
+                                   n_providers=8, degree=2, seed=seed)
+    make_sor_eager = lambda: sorrento_on(cluster_b_like(n_storage=8),  # noqa: E731
+                                         n_providers=8, degree=2, seed=seed,
+                                         eager_propagation=True)
+
+    out["read"]["NFS"] = sweep(make_nfs, "read")
+    out["read"]["PVFS-8"] = sweep(make_pvfs, "read")
+    out["read"]["Sorrento-(8,2)"] = sweep(make_sor, "read")
+    out["write"]["NFS"] = sweep(make_nfs, "write")
+    out["write"]["PVFS-8"] = sweep(make_pvfs, "write")
+    out["write"]["Sorrento-(8,2)"] = sweep(make_sor, "write")
+    out["write"]["Sorrento-(8,2),eager"] = sweep(make_sor_eager, "write")
+    return out
+
+
+def report(results) -> str:
+    blocks = []
+    for kind in ("read", "write"):
+        systems = list(results[kind])
+        counts = sorted(next(iter(results[kind].values())))
+        rows = [[n] + [results[kind][s][n] for s in systems] for n in counts]
+        blocks.append(format_table(
+            f"Figure 11 - bulk{kind} aggregate transfer rate (MB/s)",
+            ["clients"] + systems, rows))
+    return "\n\n".join(blocks)
+
+
+def checks(results) -> list:
+    bad = []
+    top = max(results["read"]["NFS"])
+    r, w = results["read"], results["write"]
+    if r["NFS"][top] > 14:
+        bad.append("NFS read should saturate near 8 MB/s")
+    if r["Sorrento-(8,2)"][top] < 3 * r["NFS"][top]:
+        bad.append("Sorrento read should far exceed NFS at scale")
+    ratio = w["PVFS-8"][top] / max(1e-9, w["Sorrento-(8,2)"][top])
+    if not 1.4 < ratio < 3.0:
+        bad.append(f"PVFS write should be ~2x Sorrento r=2 (got {ratio:.2f}x)")
+    lazy1 = w["Sorrento-(8,2)"][min(w["Sorrento-(8,2)"])]
+    eager1 = w["Sorrento-(8,2),eager"][min(w["Sorrento-(8,2),eager"])]
+    if not lazy1 > eager1:
+        bad.append("lazy propagation should beat eager at low client count")
+    return bad
+
+
+def main(scale: float = 0.125, client_counts=CLIENT_COUNTS) -> str:
+    results = run(client_counts=client_counts, scale=scale)
+    text = report(results)
+    for problem in checks(results):
+        text += f"\nSHAPE VIOLATION: {problem}"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Figure 12: application benchmarks via trace replay, Cluster B.
+
+BTIO: 4 replayers write 2.7 GB and read 1.7 GB against one shared file
+(versioning disabled, byte-range writes).  PSM: 8 replayers read 3.1 GB
+from their assigned protein-database partitions.  Replay is
+as-fast-as-possible; systems: NFS, PVFS-8, Sorrento-(8,1).
+
+Shape targets: NFS roughly 10x slower than the other two; Sorrento within
+~15% of PVFS on BTIO (PVFS slightly ahead — it is tailored for this);
+Sorrento slightly ahead on PSM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import (
+    cluster_b_like,
+    format_table,
+    nfs_on,
+    pvfs_on,
+    sorrento_on,
+)
+from repro.workloads import btio, psm
+from repro.workloads.replay import replay
+
+MB = 1 << 20
+
+PAPER = {
+    "BTIO": {"NFS": (1426.1, 1509.7, 1472.8),
+             "PVFS-8": (140.2, 141.5, 140.9),
+             "Sorrento-(8,1)": (156.3, 158.1, 157.2)},
+    "PSM": {"NFS": (1196.0, 1274.7, 1235.7),
+            "PVFS-8": (213.8, 233.4, 226.3),
+            "Sorrento-(8,1)": (200.7, 222.5, 214.8)},
+}
+
+
+def _deployments(seed: int, scale: float):
+    def make_nfs():
+        dep = nfs_on(cluster_b_like(n_storage=9), seed=seed)
+        # The paper's datasets did not fit the server's page cache; keep
+        # that true when volumes are scaled down.
+        dep.server.cache.budget = int(dep.server.cache.budget * scale)
+        return dep
+
+    return {
+        "NFS": make_nfs,
+        "PVFS-8": lambda: pvfs_on(cluster_b_like(n_storage=9), n_iods=8,
+                                  seed=seed),
+        "Sorrento-(8,1)": lambda: sorrento_on(cluster_b_like(n_storage=8),
+                                              n_providers=8, degree=1,
+                                              seed=seed),
+    }
+
+
+def _replay_all(dep, traces, clients) -> List:
+    from repro.experiments.common import run_until_done
+
+    procs = [dep.sim.process(replay(c, t)) for c, t in zip(clients, traces)]
+    run_until_done(dep.sim, procs)
+    return [p.value for p in procs]
+
+
+def run_btio(scale: float = 0.02, seed: int = 0) -> Dict[str, dict]:
+    results = {}
+    traces = btio.make_traces(n_procs=4, scale=scale)
+    for name, make in _deployments(seed, scale).items():
+        dep = make()
+        btio.create_shared_file(dep, scale=scale)
+        clients = dep.clients_on_compute(4)
+        stats = _replay_all(dep, traces, clients)
+        results[name] = _summarize(stats)
+    return results
+
+
+def run_psm(scale: float = 0.02, seed: int = 0) -> Dict[str, dict]:
+    results = {}
+    sizes = psm.partition_sizes(scale=scale)
+    # scan_fraction chosen so total reads ~ 3.1 GB at the paper's scale.
+    total = sum(sizes) * 3  # each partition scanned once per query round
+    n_queries = 4
+    scan_fraction = min(0.9, (3.1 * (1 << 30) * scale) / (total * n_queries) * 3)
+    traces = psm.make_traces(sizes, n_queries=n_queries,
+                             scan_fraction=scan_fraction)
+    for name, make in _deployments(seed, scale).items():
+        dep = make()
+        for i, size in enumerate(sizes):
+            dep.preload_file(psm.partition_path(i), size)
+        clients = dep.clients_on_compute(8)
+        stats = _replay_all(dep, traces, clients)
+        results[name] = _summarize(stats)
+    return results
+
+
+def _summarize(stats) -> dict:
+    times = [s.elapsed for s in stats]
+    read_bytes = sum(s.bytes_read for s in stats)
+    write_bytes = sum(s.bytes_written for s in stats)
+    span = max(s.finished_at for s in stats) - min(s.started_at for s in stats)
+    return {
+        "min": min(times), "max": max(times),
+        "avg": sum(times) / len(times),
+        "read_rate": read_bytes / MB / span if span else 0.0,
+        "write_rate": write_bytes / MB / span if span else 0.0,
+        "errors": sum(s.errors for s in stats),
+    }
+
+
+def report(btio_res: Dict[str, dict], psm_res: Dict[str, dict]) -> str:
+    rows = []
+    for app, res in (("BTIO", btio_res), ("PSM", psm_res)):
+        for name, s in res.items():
+            rows.append([app, name, s["min"], s["max"], s["avg"],
+                         s["read_rate"], s["write_rate"], s["errors"]])
+    return format_table(
+        "Figure 12 - NPB BTIO and PSM trace replay "
+        "(times scale with the chosen data scale; compare ratios)",
+        ["app", "system", "min(s)", "max(s)", "avg(s)",
+         "rd MB/s", "wr MB/s", "errs"],
+        rows)
+
+
+def checks(btio_res, psm_res) -> list:
+    bad = []
+    for app, res in (("BTIO", btio_res), ("PSM", psm_res)):
+        nfs = res["NFS"]["avg"]
+        pvfs = res["PVFS-8"]["avg"]
+        sor = res["Sorrento-(8,1)"]["avg"]
+        if nfs < 3 * max(pvfs, sor):
+            bad.append(f"{app}: NFS should be several times slower")
+        if not 0.5 < sor / pvfs < 2.0:
+            bad.append(f"{app}: Sorrento and PVFS should be comparable "
+                       f"(ratio {sor / pvfs:.2f})")
+        if any(r["errors"] for r in res.values()):
+            bad.append(f"{app}: replay errors present")
+    return bad
+
+
+def main(scale: float = 0.02) -> str:
+    btio_res = run_btio(scale=scale)
+    psm_res = run_psm(scale=scale)
+    text = report(btio_res, psm_res)
+    for problem in checks(btio_res, psm_res):
+        text += f"\nSHAPE VIOLATION: {problem}"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Figure 14: load-aware placement & migration under the crawler workload.
+
+50 crawlers (co-located 5-per-node with the 10 providers) append pages to
+per-domain files; domain sizes are heavy-tailed and crawler speeds differ
+>10x.  Three Sorrento variants:
+
+* Sorrento-random    — uniform random placement, no migration;
+* Sorrento-space     — alpha = 0 (storage-usage placement), no migration;
+* Sorrento-migration — Sorrento-space with online migration enabled.
+
+Metric: lowest/highest storage-usage fraction at the end, and the
+*unevenness ratio* highest/lowest.  Paper: 4.97 / 2.88 / 1.81.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.experiments.common import cluster_b_like, format_table, sorrento_on
+from repro.workloads.crawler import crawler_proc, make_plans
+
+GB = 1 << 30
+MB = 1 << 20
+
+PAPER = {"Sorrento-random": 4.97, "Sorrento-space": 2.88,
+         "Sorrento-migration": 1.81}
+
+VARIANTS = {
+    # (file placement policy, migration on, segment affinity)
+    "Sorrento-random": ("random", False, 1.0),
+    "Sorrento-space": ("load", False, 0.85),
+    "Sorrento-migration": ("load", True, 0.85),
+}
+
+
+def run(scale: float = 0.02, duration: float = 2400.0,
+        seed: int = 0) -> Dict[str, dict]:
+    """Returns {variant: {min_pct, max_pct, ratio, migrations}}.
+
+    ``scale=1`` is the paper's 243 GB over 12 h; the default writes
+    ~5 GB over 20 simulated minutes, with per-node capacity shrunk so
+    utilization lands in the paper's 7-40% band.
+    """
+    total_bytes = int(243 * GB * scale)
+    # Headroom matters: with per-node capacity too close to the written
+    # volume, full nodes clamp placement and every policy looks balanced.
+    # The paper's 243 GB sat in 6.55 TB (~27x headroom); 5x keeps the
+    # utilization percentages in the paper's readable 7-40% band without
+    # letting saturation drive the result.
+    capacity = total_bytes // 2
+    results = {}
+    for variant, (placement, migrate, affinity) in VARIANTS.items():
+        dep = sorrento_on(
+            cluster_b_like(n_storage=10, n_clients=1, capacity=capacity),
+            n_providers=10, degree=1, seed=seed,
+            heartbeat_interval=2.0,
+            default_alpha=0.0,
+            segment_affinity=affinity,
+            # Keep the paper's once-a-minute decision cadence: shortening
+            # it proportionally to the compressed duration destabilizes
+            # the control loop (each round then moves a visible fraction
+            # of a node's data and the cluster oscillates).
+            migration_interval=(60.0 if migrate else 1e12),
+        )
+        hosts = sorted(dep.providers)
+        dep.run(dep.client_on(hosts[0]).mkdir("/crawl"))
+        plans = make_plans(n_crawlers=50, total_bytes=total_bytes,
+                           seed=seed + 29)
+        est_pages = total_bytes // (12 * 1024)
+        mean_rate = est_pages / (50 * duration * 0.55)
+        rng_pool = random.Random(seed + 7)
+        procs = []
+        for i, plan in enumerate(plans):
+            plan.pages_per_second *= mean_rate
+            client = dep.client_on(hosts[i % len(hosts)])
+            procs.append(dep.sim.process(crawler_proc(
+                client, plan, duration,
+                rng=random.Random(rng_pool.random()),
+                create_params={"placement": placement, "alpha": 0.0},
+            )))
+        dep.sim.run(until=dep.sim.now + duration + 120)
+        utils = dep.storage_utilizations()
+        lo, hi = min(utils.values()), max(utils.values())
+        results[variant] = {
+            "min_pct": 100 * lo, "max_pct": 100 * hi,
+            "ratio": hi / lo if lo > 0 else float("inf"),
+            "migrations": sum(p.stats["migrations"]
+                              for p in dep.providers.values()),
+        }
+    return results
+
+
+def report(results: Dict[str, dict]) -> str:
+    rows = [
+        [name, r["min_pct"], r["max_pct"], r["ratio"], PAPER[name],
+         r["migrations"]]
+        for name, r in results.items()
+    ]
+    return format_table(
+        "Figure 14 - crawler storage usage across 10 providers "
+        "[measured | paper ratio]",
+        ["variant", "lowest %", "highest %", "ratio", "paper",
+         "migrations"],
+        rows)
+
+
+def checks(results: Dict[str, dict]) -> list:
+    bad = []
+    rnd = results["Sorrento-random"]["ratio"]
+    spc = results["Sorrento-space"]["ratio"]
+    mig = results["Sorrento-migration"]["ratio"]
+    if not rnd > spc:
+        bad.append(f"random ({rnd:.2f}) should be more uneven than "
+                   f"space-based ({spc:.2f})")
+    if not spc > mig:
+        bad.append(f"space-based ({spc:.2f}) should be more uneven than "
+                   f"migration ({mig:.2f})")
+    if results["Sorrento-migration"]["migrations"] == 0:
+        bad.append("migration variant performed no migrations")
+    return bad
+
+
+def main(scale: float = 0.02, duration: float = 2400.0) -> str:
+    results = run(scale=scale, duration=duration)
+    text = report(results)
+    for problem in checks(results):
+        text += f"\nSHAPE VIOLATION: {problem}"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Regenerate every paper table/figure in one go.
+
+Usage::
+
+    python -m repro.experiments.run_all [--quick] [--out report.txt]
+
+``--quick`` uses smaller scales/durations (minutes instead of tens of
+minutes).  Each section prints the same rows/series the paper reports,
+followed by any shape violations (none expected).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig09_small_response as fig09,
+    fig10_small_throughput as fig10,
+    fig11_bulk as fig11,
+    fig12_apps as fig12,
+    fig13_failure as fig13,
+    fig14_crawler as fig14,
+    fig15_locality as fig15,
+)
+
+
+def run_all(quick: bool = False) -> str:
+    sections = []
+
+    def section(title, fn):
+        t0 = time.time()
+        print(f"[run_all] {title} ...", file=sys.stderr, flush=True)
+        try:
+            text = fn()
+        except Exception as exc:  # noqa: BLE001 - keep the report going
+            text = f"{title}: FAILED - {type(exc).__name__}: {exc}"
+        dt = time.time() - t0
+        sections.append(f"{text}\n[{dt:.0f}s wall]")
+
+    section("Figure 9", lambda: fig09.main(n_ops=25 if quick else 40))
+    section("Figure 10", lambda: fig10.main(duration=12.0 if quick else 25.0))
+    section("Figure 11", lambda: fig11.main(
+        scale=0.0625 if quick else 0.125,
+        client_counts=(1, 4, 8) if quick else fig11.CLIENT_COUNTS))
+    section("Figure 12", lambda: fig12.main(scale=0.01 if quick else 0.02))
+    section("Figure 13", lambda: fig13.main(scale=0.08 if quick else 0.1))
+    section("Figure 14", lambda: fig14.main(
+        scale=0.012 if quick else 0.02,
+        duration=1200.0 if quick else 2400.0))
+    section("Figure 15", lambda: fig15.main(
+        scale=0.02 if quick else 0.03,
+        ))
+    return "\n\n" + ("\n\n" + "=" * 72 + "\n\n").join(sections)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scales (faster, same shapes)")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args()
+    report = run_all(quick=args.quick)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"\nreport written to {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

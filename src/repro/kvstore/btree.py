@@ -1,0 +1,190 @@
+"""An in-memory B+-tree with ordered iteration.
+
+Keys must be mutually comparable (the namespace uses strings).  Values are
+arbitrary objects.  Leaves are chained for efficient range scans, which the
+namespace server uses for directory listings (all entries under a common
+key prefix).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.keys: List[Any] = []
+        self.children: Optional[List["_Node"]] = None if leaf else []
+        self.values: Optional[List[Any]] = [] if leaf else None
+        self.next_leaf: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BTree:
+    """B+-tree: ``order`` is the max number of keys per node."""
+
+    def __init__(self, order: int = 32):
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- lookup ----------------------------------------------------------
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            i = bisect.bisect_right(node.keys, key)
+            node = node.children[i]
+        return node
+
+    def get(self, key, default=None):
+        """Value for key, or default."""
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return default
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- insertion ---------------------------------------------------------
+    def put(self, key, value) -> None:
+        """Insert or overwrite; splits nodes on overflow."""
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+
+    def _insert(self, node: _Node, key, value) -> Optional[Tuple[Any, _Node]]:
+        if node.is_leaf:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        i = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[i], key, value)
+        if split is not None:
+            sep, right = split
+            node.keys.insert(i, sep)
+            node.children.insert(i + 1, right)
+            if len(node.keys) > self.order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # -- deletion ---------------------------------------------------------
+    # Lazy deletion: remove from the leaf; underflowed nodes are tolerated
+    # (tree height only shrinks on rebuild).  This keeps the code compact
+    # while preserving all ordering invariants; checkpoints rebuild the
+    # tree compactly.
+    def delete(self, key) -> bool:
+        """Remove if present; returns whether it existed."""
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            leaf.keys.pop(i)
+            leaf.values.pop(i)
+            self._size -= 1
+            return True
+        return False
+
+    # -- iteration ---------------------------------------------------------
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(self, low=None, high=None) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs with low <= key < high, in order."""
+        if low is None:
+            leaf = self._leftmost_leaf()
+            i = 0
+        else:
+            leaf = self._find_leaf(low)
+            i = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if high is not None and key >= high:
+                    return
+                yield key, leaf.values[i]
+                i += 1
+            leaf = leaf.next_leaf
+            i = 0
+
+    def keys(self, low=None, high=None) -> Iterator[Any]:
+        """Ordered keys with low <= key < high."""
+        for k, _ in self.items(low, high):
+            yield k
+
+    def prefix_items(self, prefix: str) -> Iterator[Tuple[str, Any]]:
+        """All items whose (string) key starts with ``prefix``."""
+        for k, v in self.items(low=prefix):
+            if not k.startswith(prefix):
+                return
+            yield k, v
+
+    # -- invariant check (used by property tests) ------------------------
+    def check_invariants(self) -> None:
+        """Assert ordering/fanout/depth invariants (property tests)."""
+        def walk(node, lo, hi, depth) -> int:
+            assert node.keys == sorted(node.keys), "unsorted node keys"
+            for k in node.keys:
+                assert (lo is None or k >= lo) and (hi is None or k < hi), \
+                    "key outside separator bounds"
+            if node.is_leaf:
+                assert len(node.keys) == len(node.values)
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            depths = set()
+            bounds = [lo] + node.keys + [hi]
+            for i, child in enumerate(node.children):
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        walk(self._root, None, None, 0)
+        assert self._size == sum(1 for _ in self.items())

@@ -1,0 +1,84 @@
+"""Write-ahead log on simulated stable storage.
+
+The log survives process crashes (losing in-memory state) but is plain
+Python underneath — "stable storage" is a list the crash model never
+clears.  Byte accounting lets the owning daemon charge simulated disk time
+for appends and checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Tuple
+
+PUT = "put"
+DELETE = "del"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation."""
+
+    lsn: int
+    op: str            # PUT or DELETE
+    key: Any
+    value: Any = None
+
+    def approx_bytes(self) -> int:
+        """Rough on-disk footprint, for disk-time charging."""
+        key_len = len(self.key) if isinstance(self.key, (str, bytes)) else 16
+        val_len = _value_bytes(self.value)
+        return 24 + key_len + val_len
+
+
+def _value_bytes(value: Any) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, (str, bytes)):
+        return len(value)
+    if isinstance(value, dict):
+        return 16 + sum(_value_bytes(k) + _value_bytes(v) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return 8 + sum(_value_bytes(v) for v in value)
+    return 16
+
+
+class WriteAheadLog:
+    """Append-only mutation log with truncation at checkpoints."""
+
+    def __init__(self) -> None:
+        self._records: List[WalRecord] = []
+        self._base_lsn = 0    # lsn of the first retained record
+        self._next_lsn = 0
+        self.bytes_appended = 0
+
+    def append(self, op: str, key: Any, value: Any = None) -> Tuple[WalRecord, int]:
+        """Log a mutation; returns (record, approx bytes written)."""
+        if op not in (PUT, DELETE):
+            raise ValueError(f"bad op {op!r}")
+        rec = WalRecord(self._next_lsn, op, key, value)
+        self._next_lsn += 1
+        self._records.append(rec)
+        nbytes = rec.approx_bytes()
+        self.bytes_appended += nbytes
+        return rec, nbytes
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def replay(self, since_lsn: int = 0) -> Iterator[WalRecord]:
+        """Records with lsn >= since_lsn, in order."""
+        start = max(0, since_lsn - self._base_lsn)
+        yield from self._records[start:]
+
+    def truncate_before(self, lsn: int) -> None:
+        """Drop records older than ``lsn`` (safe once checkpointed)."""
+        if lsn <= self._base_lsn:
+            return
+        drop = min(lsn, self._next_lsn) - self._base_lsn
+        del self._records[:drop]
+        self._base_lsn += drop

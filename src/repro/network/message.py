@@ -1,0 +1,58 @@
+"""Message and RPC error types."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Destination constant meaning "all hosts subscribed to the group".
+MULTICAST = "<multicast>"
+
+#: Fixed per-message wire overhead (Ethernet + IP + TCP/UDP headers), bytes.
+HEADER_BYTES = 66
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A unit of network transmission.
+
+    ``size`` is the payload size in bytes; the wire cost adds
+    :data:`HEADER_BYTES` per packet.  ``payload`` is an arbitrary Python
+    object — the simulation never serializes it, only charges for ``size``.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    size: int = 0
+    group: str = ""
+    req_id: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def wire_size(self) -> int:
+        return self.size + HEADER_BYTES
+
+
+class RpcTimeout(Exception):
+    """An RPC got no response within its deadline (e.g. dead server)."""
+
+    def __init__(self, dst: str, service: str, timeout: float):
+        super().__init__(f"rpc to {dst}:{service} timed out after {timeout:g}s")
+        self.dst = dst
+        self.service = service
+        self.timeout = timeout
+
+
+class RpcRemoteError(Exception):
+    """The remote handler raised; the error text travelled back."""
+
+    def __init__(self, dst: str, service: str, error: str):
+        super().__init__(f"rpc to {dst}:{service} failed remotely: {error}")
+        self.dst = dst
+        self.service = service
+        self.error = error

@@ -1,0 +1,38 @@
+"""Network interface model: full-duplex link with tx and rx pipes."""
+
+from __future__ import annotations
+
+from repro.sim import BandwidthPipe, Simulator
+
+#: 100 Mb/s Fast Ethernet in bytes/second (the links in both clusters).
+FAST_ETHERNET_BPS = 100e6 / 8
+
+#: 1 Gb/s links (Cluster B inter-switch uplinks).
+GIGABIT_BPS = 1000e6 / 8
+
+
+class NIC:
+    """A full-duplex network interface.
+
+    tx and rx are independent FIFO byte pipes at the link rate; a busy
+    receive path does not slow sends and vice versa, matching full-duplex
+    switched Ethernet.
+    """
+
+    #: Messages up to this size interleave with bulk streams (packet
+    #: multiplexing) instead of queueing behind them.
+    SMALL_BYPASS = 16 * 1024
+
+    def __init__(self, sim: Simulator, rate: float = FAST_ETHERNET_BPS):
+        self.sim = sim
+        self.rate = rate
+        self.tx = BandwidthPipe(sim, rate, small_bypass=self.SMALL_BYPASS)
+        self.rx = BandwidthPipe(sim, rate, small_bypass=self.SMALL_BYPASS)
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.tx.bytes_transferred
+
+    @property
+    def bytes_received(self) -> int:
+        return self.rx.bytes_transferred

@@ -1,0 +1,117 @@
+"""Switch fabric: routes messages between attached hosts.
+
+The paper states "none of the following experiments would saturate the
+switches", so the fabric itself is non-blocking; only the per-host access
+links (NICs) and a fixed per-hop propagation/switching latency are
+modelled.  Multicast groups deliver a copy to every subscribed live host
+(charging each receiver's rx link).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.network.message import MULTICAST, Message
+from repro.network.nic import NIC, FAST_ETHERNET_BPS
+from repro.sim import Simulator
+
+#: One-way propagation + switching latency per message (switched LAN).
+DEFAULT_LATENCY = 80e-6
+
+#: Loopback latency for a host messaging itself (kernel round, no wire).
+LOOPBACK_LATENCY = 5e-6
+
+
+class Host:
+    """A network attachment point: a NIC plus liveness and a dispatcher.
+
+    Cluster nodes wrap or subclass this; the fabric only needs ``hostid``,
+    ``alive``, ``nic``, and the deliver callback installed by the endpoint.
+    """
+
+    def __init__(self, sim: Simulator, hostid: str, rate: float = FAST_ETHERNET_BPS):
+        self.sim = sim
+        self.hostid = hostid
+        self.alive = True
+        self.nic = NIC(sim, rate)
+        self.deliver: Optional[Callable[[Message], None]] = None
+
+
+class Fabric:
+    """The cluster interconnect."""
+
+    def __init__(self, sim: Simulator, latency: float = DEFAULT_LATENCY):
+        self.sim = sim
+        self.latency = latency
+        self.hosts: Dict[str, Host] = {}
+        self.groups: Dict[str, Set[str]] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- membership of the wire ----------------------------------------
+    def attach(self, host: Host) -> None:
+        if host.hostid in self.hosts:
+            raise ValueError(f"duplicate hostid {host.hostid!r}")
+        self.hosts[host.hostid] = host
+
+    def detach(self, hostid: str) -> None:
+        self.hosts.pop(hostid, None)
+        for members in self.groups.values():
+            members.discard(hostid)
+
+    def subscribe(self, group: str, hostid: str) -> None:
+        self.groups.setdefault(group, set()).add(hostid)
+
+    def unsubscribe(self, group: str, hostid: str) -> None:
+        self.groups.get(group, set()).discard(hostid)
+
+    # -- transmission ----------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Transmit ``msg``; delivery happens asynchronously in sim time."""
+        src = self.hosts.get(msg.src)
+        if src is None or not src.alive:
+            return  # a dead host sends nothing
+        self.messages_sent += 1
+        if msg.dst == MULTICAST:
+            members = self.groups.get(msg.group, set())
+            targets = [h for h in members if h != msg.src]
+        elif msg.dst == msg.src:
+            # Loopback: co-located client and daemon skip the NIC entirely
+            # ("data transfers do not need to go through network", §3.7.2).
+            self.sim.process(self._loopback(src, msg), name="loopback")
+            return
+        else:
+            targets = [msg.dst]
+        self.sim.process(self._transmit(src, targets, msg), name="xmit")
+
+    def _loopback(self, host: Host, msg: Message):
+        yield self.sim.timeout(LOOPBACK_LATENCY)
+        if host.alive and host.deliver is not None:
+            host.deliver(msg)
+
+    def _transmit(self, src: Host, targets: list, msg: Message):
+        # Cut-through model: the receiver starts draining as soon as the
+        # sender starts transmitting (plus propagation latency), so a
+        # large transfer costs ~size/rate once, not twice.  Both the tx
+        # and rx links are still reserved for the full byte count.
+        tx_start, tx_done = src.nic.tx.reserve(msg.wire_size)
+        done_events = []
+        for hostid in targets:
+            dst = self.hosts.get(hostid)
+            if dst is None or not dst.alive or dst.deliver is None:
+                self.messages_dropped += 1
+                continue
+            _rx_start, rx_done = dst.nic.rx.reserve(
+                msg.wire_size, not_before=tx_start + self.latency)
+            arrive = max(tx_done + self.latency, rx_done)
+            ev = self.sim.event("arrive")
+            ev.state = "succeeded"
+            self.sim._schedule(ev, arrive - self.sim.now)
+            done_events.append((ev, dst))
+        for ev, dst in done_events:
+            self.sim.process(self._deliver(ev, dst, msg), name="deliver")
+
+    def _deliver(self, ev, dst: Host, msg: Message):
+        yield ev
+        if dst.alive and dst.deliver is not None:
+            dst.deliver(msg)

@@ -1,0 +1,184 @@
+"""Endpoint: RPC and one-way/multicast messaging over the fabric.
+
+RPCs are used from inside sim processes with ``yield from``::
+
+    resp = yield from endpoint.call("node3", "read_segment", req, size=64)
+
+``rtts`` charges extra small round-trips before the request proper — this is
+how the paper's observation that "it takes two TCP roundtrips to open a file
+and three to close" is modelled without a full TCP state machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Tuple, Union
+
+from repro.network.message import (
+    MULTICAST,
+    Message,
+    RpcRemoteError,
+    RpcTimeout,
+)
+from repro.network.switch import Fabric, Host
+from repro.sim import AnyOf, Event, Simulator
+
+#: Default RPC deadline; failed-node requests surface as timeouts at this
+#: horizon (Figure 13 "requests issued to the failed node are all timed out").
+DEFAULT_RPC_TIMEOUT = 5.0
+
+#: Size of a ping/ack exchange used to charge extra round-trips.
+PING_BYTES = 64
+
+HandlerResult = Union[None, Any, Tuple[Any, int]]
+Handler = Callable[[Any, str], Union[HandlerResult, Generator]]
+
+_req_ids = itertools.count(1)
+
+
+class Endpoint:
+    """Per-host message dispatcher with named RPC services."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, host: Host):
+        self.sim = sim
+        self.fabric = fabric
+        self.host = host
+        self.handlers: Dict[str, Handler] = {}
+        self._pending: Dict[int, Event] = {}
+        host.deliver = self._on_message
+
+    @property
+    def hostid(self) -> str:
+        """This endpoint's host identity on the fabric."""
+        return self.host.hostid
+
+    # -- service registration -------------------------------------------
+    def register(self, service: str, handler: Handler) -> None:
+        """Install an RPC/oneway handler under a service name."""
+        if service in self.handlers:
+            raise ValueError(f"service {service!r} already registered")
+        self.handlers[service] = handler
+
+    def unregister(self, service: str) -> None:
+        """Remove a handler (no-op if absent)."""
+        self.handlers.pop(service, None)
+
+    # -- client side -----------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        service: str,
+        payload: Any = None,
+        size: int = 0,
+        timeout: float = DEFAULT_RPC_TIMEOUT,
+        rtts: int = 1,
+    ):
+        """Generator: perform an RPC, returning the response payload.
+
+        Raises :class:`RpcTimeout` if no response arrives in ``timeout``
+        seconds and :class:`RpcRemoteError` if the handler raised.
+        """
+        for _ in range(max(0, rtts - 1)):
+            yield from self._exchange(dst, "ping", None, PING_BYTES, timeout, service)
+        resp = yield from self._exchange(dst, "req", (service, payload), size, timeout, service)
+        return resp
+
+    def _exchange(self, dst, kind, body, size, timeout, service):
+        req_id = next(_req_ids)
+        ev = Event(self.sim, name=f"rpc:{service}@{dst}")
+        self._pending[req_id] = ev
+        self.fabric.send(
+            Message(src=self.hostid, dst=dst, kind=kind, payload=body,
+                    size=size, req_id=req_id)
+        )
+        deadline = self.sim.timeout(timeout)
+        yield AnyOf(self.sim, [ev, deadline])
+        if not ev.triggered or ev._callbacks is not None:
+            self._pending.pop(req_id, None)
+            raise RpcTimeout(dst, service, timeout)
+        kind_back, value = ev.value
+        if kind_back == "err":
+            raise RpcRemoteError(dst, service, value)
+        return value
+
+    def send(self, dst: str, service: str, payload: Any = None, size: int = 0) -> None:
+        """Fire-and-forget one-way message to ``dst``'s ``service`` handler."""
+        self.fabric.send(
+            Message(src=self.hostid, dst=dst, kind="oneway",
+                    payload=(service, payload), size=size)
+        )
+
+    def multicast(self, group: str, service: str, payload: Any = None, size: int = 0) -> None:
+        """One-way message to every subscriber of ``group`` (except self)."""
+        self.fabric.send(
+            Message(src=self.hostid, dst=MULTICAST, group=group, kind="oneway",
+                    payload=(service, payload), size=size)
+        )
+
+    def subscribe(self, group: str) -> None:
+        """Join a multicast group."""
+        self.fabric.subscribe(group, self.hostid)
+
+    def unsubscribe(self, group: str) -> None:
+        """Leave a multicast group."""
+        self.fabric.unsubscribe(group, self.hostid)
+
+    # -- server side -----------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        if not self.host.alive:
+            return
+        if msg.kind == "ping":
+            self._reply(msg, "resp", None, PING_BYTES)
+        elif msg.kind == "req":
+            service, payload = msg.payload
+            handler = self.handlers.get(service)
+            if handler is None:
+                self._reply(msg, "err", f"no such service {service!r}", 64)
+                return
+            self.sim.process(self._run_handler(handler, msg, payload),
+                             name=f"handle:{service}")
+        elif msg.kind in ("resp", "err"):
+            ev = self._pending.pop(msg.req_id, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed((msg.kind, msg.payload))
+        elif msg.kind == "oneway":
+            service, payload = msg.payload
+            handler = self.handlers.get(service)
+            if handler is not None:
+                result = handler(payload, msg.src)
+                if isinstance(result, Generator):
+                    self.sim.process(result, name=f"handle:{service}")
+
+    def _run_handler(self, handler: Handler, msg: Message, payload: Any):
+        try:
+            result = handler(payload, msg.src)
+            if isinstance(result, Generator):
+                result = yield from _drive(result)
+        except Exception as exc:  # noqa: BLE001 - shipped back to the caller
+            self._reply(msg, "err", f"{type(exc).__name__}: {exc}", 64)
+            return
+        resp_payload, resp_size = _split_result(result)
+        self._reply(msg, "resp", resp_payload, resp_size)
+
+    def _reply(self, msg: Message, kind: str, payload: Any, size: int) -> None:
+        if not self.host.alive:
+            return
+        self.fabric.send(
+            Message(src=self.hostid, dst=msg.src, kind=kind, payload=payload,
+                    size=size, req_id=msg.req_id)
+        )
+
+
+def _drive(gen: Generator):
+    """``yield from`` a handler generator, capturing its return value."""
+    result = yield from gen
+    return result
+
+
+def _split_result(result: HandlerResult) -> Tuple[Any, int]:
+    """Handlers may return None, a payload, or ``(payload, size_bytes)``."""
+    if result is None:
+        return None, 32
+    if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
+        return result
+    return result, 64

@@ -1,0 +1,195 @@
+"""The simulation kernel: virtual clock, event heap, and process driver."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.events import (
+    FAILED,
+    PENDING,
+    Event,
+    EventFailed,
+    Interrupt,
+    Timeout,
+)
+
+
+class Simulator:
+    """Drives events in virtual time.
+
+    The heap holds ``(time, priority, seq, event)`` tuples; ``seq`` breaks
+    ties deterministically, so identical runs replay identically.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._nprocessed: int = 0
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name)
+
+    def process(self, gen: Generator, name: str = "") -> "Process":
+        """Run a generator as a process; returns its Process event."""
+        return Process(self, gen, name)
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        self._nprocessed += 1
+        event._dispatch()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or virtual time passes ``until``."""
+        if until is not None:
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self.now = max(self.now, until)
+        else:
+            while self._heap:
+                self.step()
+
+    def run_process(self, proc: "Process", until: Optional[float] = None) -> Any:
+        """Run until ``proc`` finishes; return its value (raise on failure)."""
+        while not proc.triggered:
+            if not self._heap:
+                raise RuntimeError(
+                    f"deadlock: process {proc.name!r} never finished and no "
+                    f"events remain at t={self.now:g}"
+                )
+            if until is not None and self._heap[0][0] > until:
+                raise RuntimeError(
+                    f"process {proc.name!r} still pending at t={until:g}"
+                )
+            self.step()
+        if proc.state == FAILED:
+            raise proc.value
+        return proc.value
+
+
+def gather(sim: Simulator, gens) -> Generator:
+    """Run sub-generators concurrently; return their results in order.
+
+    Usage from a process: ``results = yield from gather(sim, [g1, g2])``.
+    If any sub-process raises, the exception propagates (after all have
+    settled) — callers needing partial results should catch per-generator.
+    """
+    procs = [sim.process(g, name=f"gather[{i}]") for i, g in enumerate(gens)]
+    done = Event(sim, name="gather-done")
+    remaining = len(procs)
+    if remaining == 0:
+        return []
+
+    def _on_done(_ev):
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not done.triggered:
+            done.succeed()
+
+    for p in procs:
+        p.add_callback(_on_done)
+    yield done
+    results = []
+    for p in procs:
+        if p.state == FAILED:
+            raise p.value
+        results.append(p.value)
+    return results
+
+
+class Process(Event):
+    """A generator-based coroutine running in virtual time.
+
+    The generator yields :class:`Event` instances; the process resumes with
+    the event's value (or the event's exception is thrown into it).  The
+    process is itself an event that triggers when the generator returns
+    (value = return value) or raises.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list = []
+        # Bootstrap: start the generator at the current sim time via an
+        # immediate event.
+        start = Event(sim, name=f"start:{self.name}")
+        start.state = "succeeded"
+        sim._schedule(start, 0.0, priority=0)
+        start.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process is still running."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        if self._waiting_on is not None:
+            target, self._waiting_on = self._waiting_on, None
+            target.remove_callback(self._resume)
+        # Resume immediately (urgent priority so interrupts preempt).
+        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick.state = "succeeded"
+        self.sim._schedule(kick, 0.0, priority=0)
+        kick.add_callback(self._resume)
+
+    # -- internal ---------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if self._interrupts:
+                    target = self._gen.throw(self._interrupts.pop(0))
+                elif trigger.state == FAILED:
+                    exc = trigger.value
+                    if not isinstance(exc, BaseException):
+                        exc = EventFailed(exc)
+                    target = self._gen.throw(exc)
+                else:
+                    target = self._gen.send(trigger.value)
+            except StopIteration as stop:
+                if self.state == PENDING:
+                    self.succeed(stop.value)
+                return
+            except Interrupt:
+                # Uncaught interrupt kills the process silently: this is the
+                # normal fate of daemon loops on a crashed node.
+                if self.state == PENDING:
+                    self.succeed(None)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                if self.state == PENDING:
+                    self.fail(exc)
+                    return
+                raise
+            if not isinstance(target, Event):
+                raise TypeError(
+                    f"process {self.name!r} yielded {target!r}, not an Event"
+                )
+            if target.triggered and target._callbacks is None:
+                # Already dispatched in the past: loop and consume inline.
+                trigger = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return

@@ -1,0 +1,192 @@
+"""Shared resources for the DES: semaphores, queues, and bandwidth pipes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Resource:
+    """A counted resource (semaphore) with FIFO granting.
+
+    Usage from a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Ask for a slot; yields immediately if capacity is free."""
+        ev = Event(self.sim, name="resource-grant")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free a slot, waking the next live waiter."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without matching request")
+        # Hand the slot to the next live waiter, if any.
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev.state == "pending":
+                ev.succeed()
+                return
+        self.in_use -= 1
+
+    def cancel(self, ev: Event) -> None:
+        """Abandon a pending request (e.g. the requester was interrupted)."""
+        if ev in self._waiters and ev.state == "pending":
+            self._waiters.remove(ev)
+
+    @property
+    def queue_length(self) -> int:
+        """Pending (unserved) requests."""
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded FIFO queue of items; ``get`` blocks until one arrives."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue; wakes a waiting getter if any."""
+        while self._getters:
+            ev = self._getters.popleft()
+            if ev.state == "pending":
+                ev.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that yields the next item (immediately if buffered)."""
+        ev = Event(self.sim, name="store-get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Barrier:
+    """An MPI-style barrier for a fixed party size.
+
+    The n-th arrival releases everyone; the barrier then resets for the
+    next round (cyclic, like MPI_Barrier on a communicator).
+    """
+
+    def __init__(self, sim: Simulator, parties: int):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.parties = parties
+        self._arrived = 0
+        self._gate = Event(sim, name="barrier")
+        self.generation = 0
+
+    def wait(self):
+        """Generator: block until all parties arrive."""
+        self._arrived += 1
+        if self._arrived >= self.parties:
+            gate, self._gate = self._gate, Event(self.sim, name="barrier")
+            self._arrived = 0
+            self.generation += 1
+            gate.succeed(self.generation)
+            yield self.sim.timeout(0)
+            return self.generation
+        gen = yield self._gate
+        return gen
+
+
+class BandwidthPipe:
+    """A byte server modelling a link or a disk bus.
+
+    Bulk transfers are FIFO: ``nbytes`` completes ``nbytes / rate``
+    seconds after all previously queued bulk work.  Small messages
+    (≤ ``small_bypass`` bytes) *cut through*: on a packet-switched link a
+    64-byte RPC interleaves with an in-flight 4 MB stream instead of
+    waiting behind it, so small completions ignore the bulk backlog while
+    still consuming capacity.  ``small_bypass=0`` (disks) disables the
+    bypass — platters really do serialize.
+    """
+
+    def __init__(self, sim: Simulator, rate: float, overhead: float = 0.0,
+                 small_bypass: int = 0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.overhead = overhead
+        self.small_bypass = small_bypass
+        self._ready_at = 0.0
+        self.bytes_transferred = 0
+
+    def reserve(self, nbytes: float, not_before: float = 0.0):
+        """Book ``nbytes`` of capacity; returns (start, done) times.
+
+        Unlike :meth:`transfer`, no event is created — callers compose
+        reservations across pipes (e.g. pipelined tx→rx transfers).
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if self.small_bypass and nbytes <= self.small_bypass:
+            start = max(self.sim.now, not_before)
+            done = start + self.overhead + nbytes / self.rate
+            # Capacity is still consumed; only the waiting is skipped.
+            self._ready_at = max(self._ready_at, self.sim.now) + nbytes / self.rate
+            self.bytes_transferred += int(nbytes)
+            return start, done
+        start = max(self.sim.now, self._ready_at, not_before)
+        done = start + self.overhead + nbytes / self.rate
+        self._ready_at = done
+        self.bytes_transferred += int(nbytes)
+        return start, done
+
+    def transfer(self, nbytes: float) -> Event:
+        """Queue ``nbytes`` and return an event for its completion."""
+        _start, done = self.reserve(nbytes)
+        ev = Event(self.sim, name="xfer-done")
+        ev.state = "succeeded"
+        self.sim._schedule(ev, done - self.sim.now)
+        return ev
+
+    def busy_until(self) -> float:
+        """When the pipe's queued work drains."""
+        return max(self.sim.now, self._ready_at)
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Seconds of queued work ahead of a new arrival."""
+        return max(0.0, self._ready_at - self.sim.now)
+
+    def utilization_since(self, t0: float, bytes0: int) -> float:
+        """Average utilization over [t0, now] given a byte snapshot at t0."""
+        dt = self.sim.now - t0
+        if dt <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_transferred - bytes0) / self.rate / dt)

@@ -1,0 +1,24 @@
+"""Storage device models: disks, software RAID-0, and the native local FS.
+
+These stand in for the drives in the paper's Figure 8 and the "native file
+system interface" through which Sorrento storage providers keep segments.
+Timing is first-principles (seek + rotation + transfer through a FIFO
+queue); capacities and seek times come from the paper's table.
+"""
+
+from repro.storage.disk import (
+    DISK_SPECS,
+    Disk,
+    DiskSpec,
+)
+from repro.storage.filesystem import LocalFS, NoSpace
+from repro.storage.raid import Raid0
+
+__all__ = [
+    "DISK_SPECS",
+    "Disk",
+    "DiskSpec",
+    "LocalFS",
+    "NoSpace",
+    "Raid0",
+]

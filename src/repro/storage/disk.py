@@ -1,0 +1,87 @@
+"""Rotating-disk service-time model.
+
+Per request: (seek if random) + half-rotation latency + size/transfer_rate,
+served FIFO through the drive.  Specs follow the paper's Figure 8; media
+transfer rates are period-appropriate estimates for those drive families
+(the paper does not list them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Event, Simulator
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static parameters of a drive model."""
+
+    name: str
+    rpm: int
+    seek_s: float
+    transfer_bps: float  # sustained media rate, bytes/second
+    capacity: int        # bytes
+
+    @property
+    def half_rotation_s(self) -> float:
+        return 0.5 * 60.0 / self.rpm
+
+
+#: The drive models of Figure 8.  Capacities follow the model numbers
+#: (ST373405 = 73 GB, ST336737/ST336704 = 36 GB, DK32EJ-72 = 73 GB,
+#: MAN3735 = 73 GB); transfer rates are era-typical sustained rates.
+DISK_SPECS = {
+    "cheetah-st373405": DiskSpec("cheetah-st373405", 10000, 5.1e-3, 55 * MB, 73 * GB),
+    "barracuda-st336737": DiskSpec("barracuda-st336737", 7200, 8.5e-3, 40 * MB, 36 * GB),
+    "cheetah-st336704": DiskSpec("cheetah-st336704", 10000, 5.1e-3, 50 * MB, 36 * GB),
+    "ultrastar-dk32ej": DiskSpec("ultrastar-dk32ej", 10000, 4.9e-3, 52 * MB, 73 * GB),
+    "fujitsu-man3735": DiskSpec("fujitsu-man3735", 10000, 5.0e-3, 52 * MB, 73 * GB),
+}
+
+
+class Disk:
+    """A single drive: FIFO queue with positioning + transfer service times.
+
+    Like :class:`~repro.sim.resources.BandwidthPipe`, completion times are
+    computed with an O(1) ledger: a new request starts when all earlier
+    ones finish.  ``busy_accum`` integrates service time for I/O-wait load
+    measurement.
+    """
+
+    def __init__(self, sim: Simulator, spec: DiskSpec):
+        self.sim = sim
+        self.spec = spec
+        self._ready_at = 0.0
+        self.busy_accum = 0.0
+        self.bytes_done = 0
+        self.requests = 0
+
+    def service_time(self, nbytes: int, sequential: bool = False) -> float:
+        t = nbytes / self.spec.transfer_bps
+        if not sequential:
+            t += self.spec.seek_s + self.spec.half_rotation_s
+        return t
+
+    def io(self, nbytes: int, sequential: bool = False) -> Event:
+        """Queue one request; the event fires at completion."""
+        if nbytes < 0:
+            raise ValueError("negative I/O size")
+        service = self.service_time(nbytes, sequential)
+        start = max(self.sim.now, self._ready_at)
+        done = start + service
+        self._ready_at = done
+        self.busy_accum += service
+        self.bytes_done += nbytes
+        self.requests += 1
+        ev = Event(self.sim, name="disk-io")
+        ev.state = "succeeded"
+        self.sim._schedule(ev, done - self.sim.now)
+        return ev
+
+    @property
+    def backlog_seconds(self) -> float:
+        return max(0.0, self._ready_at - self.sim.now)

@@ -1,0 +1,75 @@
+"""Software RAID-0 across member disks.
+
+Cluster B nodes export "a software RAID-0 partition consisting of three
+SCSI partitions" (Figure 8).  Requests are split into stripe units and
+issued to member drives in parallel, so large transfers approach the sum
+of member bandwidths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim import AllOf, Event, Simulator
+from repro.storage.disk import Disk
+
+DEFAULT_STRIPE = 64 * 1024
+
+
+class Raid0:
+    """A RAID-0 volume over one or more :class:`Disk` members."""
+
+    def __init__(self, sim: Simulator, disks: List[Disk], stripe: int = DEFAULT_STRIPE):
+        if not disks:
+            raise ValueError("RAID-0 needs at least one member disk")
+        self.sim = sim
+        self.disks = list(disks)
+        self.stripe = stripe
+        self._next = 0
+
+    @property
+    def capacity(self) -> int:
+        # RAID-0 capacity = members x smallest member.
+        return len(self.disks) * min(d.spec.capacity for d in self.disks)
+
+    def io(self, nbytes: int, sequential: bool = False) -> Event:
+        """Stripe one request over the members; fires when all parts land."""
+        if nbytes < 0:
+            raise ValueError("negative I/O size")
+        if len(self.disks) == 1:
+            return self.disks[0].io(nbytes, sequential)
+        # Split into per-disk byte counts, stripe unit at a time.
+        per_disk = [0] * len(self.disks)
+        remaining = nbytes
+        i = self._next
+        while remaining > 0:
+            chunk = min(self.stripe, remaining)
+            per_disk[i % len(self.disks)] += chunk
+            remaining -= chunk
+            i += 1
+        self._next = i % len(self.disks)
+        parts = [
+            disk.io(count, sequential)
+            for disk, count in zip(self.disks, per_disk)
+            if count > 0
+        ]
+        if not parts:  # zero-byte op: charge one positioning on one member
+            return self.disks[self._next].io(0, sequential)
+        return AllOf(self.sim, parts)
+
+    def service_time(self, nbytes: int, sequential: bool = False) -> float:
+        """Unloaded service-time estimate (slowest member's share)."""
+        share = nbytes / len(self.disks)
+        return max(d.service_time(int(share), sequential) for d in self.disks)
+
+    @property
+    def busy_accum(self) -> float:
+        return sum(d.busy_accum for d in self.disks) / len(self.disks)
+
+    @property
+    def backlog_seconds(self) -> float:
+        return max(d.backlog_seconds for d in self.disks)
+
+    @property
+    def bytes_done(self) -> int:
+        return sum(d.bytes_done for d in self.disks)

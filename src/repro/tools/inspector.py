@@ -1,0 +1,182 @@
+"""Cluster inspection: the administrator's view of a running volume.
+
+All methods read live deployment state (no simulated I/O) — this is the
+offline diagnosis path, equivalent to an admin tool querying daemons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class ReplicaReport:
+    """Replication-health summary for one volume."""
+
+    total_segments: int = 0
+    healthy: int = 0
+    under_replicated: List[Tuple[int, int, int]] = field(default_factory=list)
+    #   (segid, have, want)
+    over_replicated: List[Tuple[int, int, int]] = field(default_factory=list)
+    version_divergent: List[Tuple[int, List[int]]] = field(default_factory=list)
+    #   (segid, distinct versions held)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.under_replicated or self.version_divergent)
+
+
+@dataclass
+class BalanceReport:
+    """Storage/load balance across providers."""
+
+    storage_utilization: Dict[str, float] = field(default_factory=dict)
+    io_wait: Dict[str, float] = field(default_factory=dict)
+    unevenness_ratio: float = 0.0
+    mean_utilization: float = 0.0
+
+
+class ClusterInspector:
+    """Read-only diagnostics over a :class:`SorrentoDeployment`."""
+
+    def __init__(self, deployment):
+        self.dep = deployment
+
+    # ------------------------------------------------------------ replicas
+    def replica_map(self) -> Dict[int, Dict[str, int]]:
+        """segid -> {hostid: latest committed version held}."""
+        out: Dict[int, Dict[str, int]] = {}
+        for host, provider in self.dep.providers.items():
+            if not provider.node.alive:
+                continue
+            for seg in provider.store.committed_segments():
+                out.setdefault(seg.segid, {})[host] = seg.version
+        return out
+
+    def segment_degrees(self) -> Dict[int, int]:
+        """segid -> desired replication degree (max any holder claims)."""
+        out: Dict[int, int] = {}
+        for provider in self.dep.providers.values():
+            if not provider.node.alive:
+                continue
+            for seg in provider.store.committed_segments():
+                out[seg.segid] = max(out.get(seg.segid, 0),
+                                     seg.replication_degree)
+        return out
+
+    def replica_report(self) -> ReplicaReport:
+        """Audit replication degree and version convergence."""
+        report = ReplicaReport()
+        degrees = self.segment_degrees()
+        for segid, holders in self.replica_map().items():
+            report.total_segments += 1
+            want = degrees.get(segid, 1)
+            versions = sorted(set(holders.values()))
+            if len(versions) > 1:
+                report.version_divergent.append((segid, versions))
+            elif len(holders) < want:
+                report.under_replicated.append((segid, len(holders), want))
+            elif len(holders) > want:
+                report.over_replicated.append((segid, len(holders), want))
+            else:
+                report.healthy += 1
+        return report
+
+    # ------------------------------------------------------------ orphans
+    def referenced_segments(self) -> Set[int]:
+        """Every SegID reachable from the namespace (index + data)."""
+        refs: Set[int] = set()
+        for key, entry in self.dep.ns.db.items(low="f:", high="f;"):
+            fileid = entry["fileid"]
+            refs.add(fileid)
+            meta = self._index_meta(fileid)
+            if meta and meta.get("layout") is not None:
+                refs.update(r.segid for r in meta["layout"].segments)
+        return refs
+
+    def _index_meta(self, fileid: int) -> Optional[dict]:
+        best = None
+        for provider in self.dep.providers.values():
+            if not provider.node.alive:
+                continue
+            seg = provider.store.latest_committed(fileid)
+            if seg is not None and seg.meta is not None:
+                if best is None or seg.version > best[0]:
+                    best = (seg.version, seg.meta)
+        return best[1] if best else None
+
+    def orphaned_segments(self) -> List[int]:
+        """Committed segments no live file references (leak candidates;
+        uncommitted shadows are excluded — TTLs own those)."""
+        refs = self.referenced_segments()
+        return sorted(segid for segid in self.replica_map() if segid not in refs)
+
+    # ---------------------------------------------------- location tables
+    def location_audit(self) -> Dict[str, List[int]]:
+        """Compare home-host location tables against reality.
+
+        Returns {"missing": [...], "ghost": [...]}: segments whose home
+        host doesn't know a live owner, and table entries claiming owners
+        that hold nothing.  Both self-heal (refresh/purge); persistent
+        entries indicate a protocol bug.
+        """
+        missing: List[int] = []
+        ghost: List[int] = []
+        actual = self.replica_map()
+        members = sorted(h for h, p in self.dep.providers.items()
+                         if p.node.alive)
+        if not members:
+            return {"missing": sorted(actual), "ghost": []}
+        ring = next(iter(self.dep.providers.values())).ring
+        for segid, holders in actual.items():
+            home = ring.home_host(segid, members)
+            table = self.dep.providers[home].loc
+            known = {h for h, _ in table.lookup(segid)}
+            if not (known & set(holders)):
+                missing.append(segid)
+        for host, provider in self.dep.providers.items():
+            if not provider.node.alive:
+                continue
+            for segid in provider.loc.segids():
+                for owner, _v in provider.loc.lookup(segid):
+                    holder = self.dep.providers.get(owner)
+                    if holder is None or not holder.node.alive \
+                            or holder.store.latest_committed(segid) is None:
+                        ghost.append(segid)
+                        break
+        return {"missing": sorted(missing), "ghost": sorted(set(ghost))}
+
+    # ------------------------------------------------------------- balance
+    def balance_report(self) -> BalanceReport:
+        report = BalanceReport()
+        utils = []
+        for host, provider in self.dep.providers.items():
+            if not provider.node.alive:
+                continue
+            u = provider.node.storage_utilization
+            report.storage_utilization[host] = u
+            report.io_wait[host] = provider.node.io_wait
+            utils.append(u)
+        if utils:
+            report.mean_utilization = sum(utils) / len(utils)
+            lo = min(utils)
+            report.unevenness_ratio = (max(utils) / lo) if lo > 0 else float("inf")
+        return report
+
+    # --------------------------------------------------------------- text
+    def summary(self) -> str:
+        rep = self.replica_report()
+        bal = self.balance_report()
+        orphans = self.orphaned_segments()
+        lines = [
+            f"providers: {len(bal.storage_utilization)} live",
+            f"segments: {rep.total_segments} "
+            f"(healthy {rep.healthy}, under {len(rep.under_replicated)}, "
+            f"over {len(rep.over_replicated)}, "
+            f"divergent {len(rep.version_divergent)})",
+            f"orphans: {len(orphans)}",
+            f"storage balance: mean {100 * bal.mean_utilization:.1f}%, "
+            f"unevenness {bal.unevenness_ratio:.2f}",
+        ]
+        return "\n".join(lines)

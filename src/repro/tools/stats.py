@@ -1,0 +1,81 @@
+"""Series statistics for experiment reports.
+
+Thin, well-tested wrappers so every experiment summarizes measurements
+the same way (the paper reports EWMA-smoothed loads, min/max/avg
+execution times, and bucketed time series).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+
+def ewma(values: Sequence[float], alpha: float = 0.3) -> List[float]:
+    """Exponentially weighted moving average (the paper's load smoother)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    out: List[float] = []
+    acc = None
+    for v in values:
+        acc = v if acc is None else alpha * v + (1 - alpha) * acc
+        out.append(acc)
+    return out
+
+
+def percentile_summary(values: Sequence[float],
+                       pcts: Sequence[float] = (50, 90, 99)) -> Dict[str, float]:
+    """min/mean/max plus the requested percentiles."""
+    if len(values) == 0:
+        raise ValueError("empty series")
+    arr = np.asarray(values, dtype=float)
+    out = {"min": float(arr.min()), "mean": float(arr.mean()),
+           "max": float(arr.max())}
+    for p in pcts:
+        out[f"p{p:g}"] = float(np.percentile(arr, p))
+    return out
+
+
+def mean_ci(values: Sequence[float],
+            confidence: float = 0.95) -> Tuple[float, float, float]:
+    """(mean, lo, hi): Student-t confidence interval on the mean."""
+    arr = np.asarray(values, dtype=float)
+    n = len(arr)
+    if n == 0:
+        raise ValueError("empty series")
+    mean = float(arr.mean())
+    if n == 1:
+        return mean, mean, mean
+    sem = float(sps.sem(arr))
+    if sem == 0.0:
+        return mean, mean, mean
+    lo, hi = sps.t.interval(confidence, n - 1, loc=mean, scale=sem)
+    return mean, float(lo), float(hi)
+
+
+def bucket_series(events: Sequence[Tuple[float, float]], width: float,
+                  reduce: str = "mean") -> List[Tuple[float, float]]:
+    """Bucket (time, value) events into fixed windows.
+
+    ``reduce``: "mean" averages values per bucket (latency series);
+    "rate" sums values and divides by the width (throughput series).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if reduce not in ("mean", "rate"):
+        raise ValueError(f"unknown reduce {reduce!r}")
+    if not events:
+        return []
+    t0 = min(t for t, _ in events)
+    buckets: Dict[int, List[float]] = {}
+    for t, v in events:
+        buckets.setdefault(int((t - t0) // width), []).append(v)
+    out = []
+    for b in sorted(buckets):
+        vals = buckets[b]
+        y = (sum(vals) / len(vals)) if reduce == "mean" \
+            else sum(vals) / width
+        out.append((t0 + (b + 1) * width, y))
+    return out

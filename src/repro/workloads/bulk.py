@@ -1,0 +1,99 @@
+"""Bulk I/O workloads (Sections 4.2.1 and 4.3).
+
+Figure 11's microbenchmarks: ``bulkread`` repeatedly reads 4 MB at random
+4 KB-aligned offsets from a set of 512 MB files; ``bulkwrite`` writes
+4 MB likewise.  Client processes access disjoint file sets; each client
+moves a fixed volume (256 MB in the paper) per run.
+
+Figure 13 uses continuous bulkread/bulkwrite processes whose completed
+bytes are sampled every three seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+MB = 1 << 20
+REQUEST = 4 * MB
+ALIGN = 4 * 1024
+
+
+def populate(dep, n_files: int, file_size: int, prefix: str = "/bulk",
+             degree: int = 1) -> List[str]:
+    """Pre-populate the dataset via direct state injection."""
+    paths = [f"{prefix}/file{i:04d}" for i in range(n_files)]
+    for p in paths:
+        dep.preload_file(p, file_size, degree=degree)
+    return paths
+
+
+def _random_offset(rng: random.Random, file_size: int) -> int:
+    return rng.randrange(0, max(1, (file_size - REQUEST) // ALIGN)) * ALIGN
+
+
+def bulk_client(client, paths: List[str], total_bytes: int, *,
+                write: bool, rng: random.Random, file_size: int,
+                request: int = REQUEST, progress: Optional[list] = None,
+                deadline: Optional[float] = None):
+    """Generator: move ``total_bytes`` in ``request``-size random I/Os."""
+    sim = client.sim
+    moved = 0
+    handles = {}
+    while moved < total_bytes and (deadline is None or sim.now < deadline):
+        path = rng.choice(paths)
+        fh = handles.get(path)
+        try:
+            if fh is None:
+                fh = yield from client.open(path, "w" if write else "r")
+                handles[path] = fh
+            off = _random_offset(rng, file_size)
+            if write:
+                yield from client.write(fh, off, request)
+            else:
+                yield from client.read(fh, off, request)
+            moved += request
+            if progress is not None:
+                progress.append((sim.now, request))
+            if write:
+                # Each request is an independent update: commit it so the
+                # version scheme (and replica propagation) is exercised.
+                commit = getattr(client, "commit", None)
+                if commit is not None:
+                    yield from commit(fh)
+        except Exception:
+            handles.pop(path, None)
+            yield sim.timeout(0.2)
+    for fh in handles.values():
+        try:
+            yield from client.close(fh)
+        except Exception:
+            pass
+    return moved
+
+
+def run_bulk(dep, n_clients: int, *, write: bool, paths: List[str],
+             file_size: int, per_client_bytes: int = 256 * MB,
+             seed: int = 7, max_seconds: float = 3600.0):
+    """Figure 11 driver: aggregate MB/s for ``n_clients`` movers.
+
+    Clients get disjoint slices of the file set, as in the paper.
+    """
+    clients = dep.clients_on_compute(n_clients)
+    share = max(1, len(paths) // n_clients)
+    done_at = []
+
+    def one(i, c):
+        mine = paths[i * share:(i + 1) * share] or paths[-share:]
+        rng = random.Random(seed + i)
+        yield from bulk_client(c, mine, per_client_bytes, write=write,
+                               rng=rng, file_size=file_size)
+        done_at.append(c.sim.now)
+
+    t0 = dep.sim.now
+    procs = [dep.sim.process(one(i, c)) for i, c in enumerate(clients)]
+    dep.sim.run(until=t0 + max_seconds)
+    if not all(p.triggered for p in procs):
+        raise RuntimeError("bulk run did not finish within the time cap")
+    elapsed = max(done_at) - t0
+    return n_clients * per_client_bytes / MB / elapsed

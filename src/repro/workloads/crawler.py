@@ -1,0 +1,124 @@
+"""Ask Jeeves crawler workload (Section 4.4, Figure 14).
+
+The paper's statistical facts, reproduced synthetically:
+
+* crawlers get disjoint seed-URL/domain sets; pages from one domain go to
+  a single file, appended as they arrive;
+* "the number of pages from a single domain can range from hundreds to
+  millions" — heavy-tailed (Zipf) domain sizes;
+* "there is typically a speed discrepancy of more than ten folds among
+  crawlers" — lognormal per-crawler fetch rates;
+* crawl latency is emulated by blocking between appends;
+* page files are not replicated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+KB = 1 << 10
+MB = 1 << 20
+
+PAGE_BYTES = 12 * KB
+
+
+@dataclass
+class CrawlerPlan:
+    """One crawler's assignment: domains and a fetch rate."""
+
+    name: str
+    domains: List[str]
+    domain_pages: List[int]
+    pages_per_second: float
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.domain_pages) * PAGE_BYTES
+
+
+def make_plans(n_crawlers: int = 50, domains_per_crawler: int = 6,
+               total_bytes: int = 2 * 1024 * MB, zipf_s: float = 0.95,
+               max_domain_share: float = 0.12,
+               speed_spread: float = 10.0, seed: int = 23) -> List[CrawlerPlan]:
+    """Build crawler assignments with the paper's skew properties.
+
+    Domain sizes are Zipf with the head capped at ``max_domain_share`` of
+    the total: the paper's largest domains (millions of pages) were
+    ~5-10% of the 243 GB corpus, not half of it.
+    """
+    rng = random.Random(seed)
+    n_domains = n_crawlers * domains_per_crawler
+    # Zipf page counts, scaled so the sum matches total_bytes.
+    raw = [1.0 / (k + 1) ** zipf_s for k in range(n_domains)]
+    cap = max_domain_share * sum(raw)
+    raw = [min(r, cap) for r in raw]
+    rng.shuffle(raw)
+    total_pages = total_bytes // PAGE_BYTES
+    scale = total_pages / sum(raw)
+    pages = [max(1, int(r * scale)) for r in raw]
+    # Lognormal speeds with >= `speed_spread` ratio between p95 and p5.
+    import math
+    sigma = math.log(speed_spread) / 3.29  # p95/p5 = exp(3.29 sigma)
+    speeds = [math.exp(rng.gauss(0.0, sigma)) for _ in range(n_crawlers)]
+    plans = []
+    for c in range(n_crawlers):
+        dom = [f"/crawl/c{c:02d}-d{j}" for j in range(domains_per_crawler)]
+        counts = pages[c * domains_per_crawler:(c + 1) * domains_per_crawler]
+        plans.append(CrawlerPlan(
+            name=f"crawler{c:02d}", domains=dom, domain_pages=counts,
+            pages_per_second=speeds[c] * 8.0,
+        ))
+    return plans
+
+
+def crawler_proc(client, plan: CrawlerPlan, duration: float,
+                 rng: random.Random, batch_pages: int = 16,
+                 create_params: dict = None):
+    """Generator: crawl until done or the deadline.
+
+    Pages append to the current domain's file in batches (crawlers buffer
+    pages); the think time between batches reflects the crawler's speed
+    (Internet latency emulation).
+    """
+    sim = client.sim
+    deadline = sim.now + duration
+    work = [(d, n) for d, n in zip(plan.domains, plan.domain_pages)]
+    handles = {}
+    offsets = {}
+    for domain, n_pages in work:
+        remaining = n_pages
+        failures = 0
+        while remaining > 0 and sim.now < deadline and failures < 5:
+            batch = min(batch_pages, remaining)
+            think = batch / plan.pages_per_second
+            yield sim.timeout(rng.uniform(0.5, 1.5) * think)
+            try:
+                fh = handles.get(domain)
+                if fh is None:
+                    fh = yield from client.open(domain, "w", create=True,
+                                                **(create_params or {}))
+                    handles[domain] = fh
+                    offsets[domain] = getattr(fh, "size", 0)
+                nbytes = batch * PAGE_BYTES
+                yield from client.write(fh, offsets[domain], nbytes,
+                                        sequential=True)
+                offsets[domain] += nbytes
+                commit = getattr(client, "commit", None)
+                if commit is not None:
+                    yield from commit(fh)
+            except Exception:
+                failures += 1
+                handles.pop(domain, None)
+                yield sim.timeout(1.0)
+                continue
+            failures = 0
+            remaining -= batch
+        fh = handles.pop(domain, None)
+        if fh is not None:
+            try:
+                yield from client.close(fh)
+            except Exception:
+                pass
+    return plan.name

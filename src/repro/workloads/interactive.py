@@ -1,0 +1,114 @@
+"""General interactive file-system workload (Section 4.1's framing).
+
+The paper contrasts its target workload with "file systems used in
+interactive environments such as desktop PCs", citing the Sprite and
+Windows NT measurement studies [9, 43].  This generator reproduces their
+headline distributional facts:
+
+* most files are small (lognormal sizes, median a few KB) with a long
+  tail;
+* most accesses are whole-file sequential reads; writes mostly create or
+  fully overwrite;
+* opens cluster in bursts with think time between bursts;
+* a small fraction of deletes, and re-reads concentrate on recently
+  used files (temporal locality via an LRU-biased pick).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.trace import Trace
+
+KB = 1 << 10
+
+
+@dataclass
+class InteractiveProfile:
+    """Tunable workload mix (defaults follow the measurement studies)."""
+
+    read_fraction: float = 0.7      # share of sessions that only read
+    delete_fraction: float = 0.05   # share of sessions that unlink
+    size_median: int = 4 * KB       # lognormal median file size
+    size_sigma: float = 1.4         # lognormal shape (long tail)
+    max_size: int = 4 * (1 << 20)   # tail clamp
+    burst_len: int = 6              # sessions per burst
+    think_time: float = 2.0         # mean gap between bursts (seconds)
+    locality_bias: float = 0.7      # probability of touching a recent file
+
+
+def make_trace(n_sessions: int, profile: InteractiveProfile = None,
+               prefix: str = "/home", seed: int = 0,
+               name: str = "interactive") -> Trace:
+    """Generate an interactive-user trace of ``n_sessions`` file sessions."""
+    p = profile or InteractiveProfile()
+    rng = random.Random(seed)
+    tr = Trace(name=name)
+    t = 0.0
+    recent: List[str] = []
+    created: List[str] = []
+    sizes = {}
+    next_id = 0
+
+    def file_size() -> int:
+        mu = math.log(p.size_median)
+        return max(256, min(p.max_size, int(rng.lognormvariate(mu, p.size_sigma))))
+
+    for s in range(n_sessions):
+        if s % p.burst_len == 0 and s > 0:
+            gap = rng.expovariate(1.0 / p.think_time)
+            tr.add("think", t=t, dur=gap)
+            t += gap
+        roll = rng.random()
+        if created and roll < p.delete_fraction:
+            victim = rng.choice(created)
+            created.remove(victim)
+            sizes.pop(victim, None)
+            if victim in recent:
+                recent.remove(victim)
+            tr.add("unlink", t=t, path=victim)
+        elif created and roll < p.delete_fraction + p.read_fraction:
+            # Whole-file sequential read, biased to recent files.
+            if recent and rng.random() < p.locality_bias:
+                path = rng.choice([r for r in recent[-10:] if r in sizes]
+                                  or created)
+            else:
+                path = rng.choice(created)
+            size = sizes[path]
+            tr.add("open", t=t, path=path, mode="r")
+            pos = 0
+            while pos < size:
+                n = min(64 * KB, size - pos)
+                tr.add("read", t=t, path=path, offset=pos, size=n,
+                       sequential=True)
+                pos += n
+            tr.add("close", t=t, path=path)
+            _touch(recent, path)
+        else:
+            # Create (or truncate-overwrite) and write the whole file.
+            path = f"{prefix}/f{next_id:06d}"
+            next_id += 1
+            size = file_size()
+            tr.add("open", t=t, path=path, mode="w", create=True)
+            pos = 0
+            while pos < size:
+                n = min(64 * KB, size - pos)
+                tr.add("write", t=t, path=path, offset=pos, size=n,
+                       sequential=True)
+                pos += n
+            tr.add("close", t=t, path=path)
+            created.append(path)
+            sizes[path] = size
+            _touch(recent, path)
+    return tr
+
+
+def _touch(recent: List[str], path: str) -> None:
+    if path in recent:
+        recent.remove(path)
+    recent.append(path)
+    if len(recent) > 64:
+        recent.pop(0)

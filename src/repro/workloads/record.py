@@ -1,0 +1,100 @@
+"""Trace collection by client interception.
+
+The paper built "two trace collection utilities: one intercepts file
+system calls through glibc modification and the other intercepts PVFS
+calls by changing the PVFS library".  This is the same idea for the
+simulated systems: wrap any client stub and every call is recorded —
+with start timestamps — into a :class:`Trace` that ``replay`` can later
+drive against any other system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.workloads.trace import Trace
+
+
+class RecordingClient:
+    """A transparent recorder around any system's client stub.
+
+    Supports the common surface (open/read/write/close/unlink/mkdir and
+    atomic_append); everything else passes through unrecorded.
+    """
+
+    def __init__(self, inner, name: str = "recorded"):
+        self.inner = inner
+        self.sim = inner.sim
+        self.trace = Trace(name=name)
+        self._t0: Optional[float] = None
+        self._paths: Dict[int, str] = {}
+
+    # ------------------------------------------------------------ plumbing
+    def _now(self) -> float:
+        if self._t0 is None:
+            self._t0 = self.sim.now
+        return self.sim.now - self._t0
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------ surface
+    def open(self, path: str, mode: str = "r", create: bool = False, **kw):
+        """Record an open, then delegate."""
+        t = self._now()
+        fh = yield from self.inner.open(path, mode, create=create, **kw)
+        self.trace.add("open", t=t, path=path, mode=mode, create=create)
+        self._paths[id(fh)] = path
+        return fh
+
+    def read(self, fh, offset: int, length: int, sequential: bool = False):
+        """Record a read, then delegate."""
+        t = self._now()
+        data = yield from self.inner.read(fh, offset, length,
+                                          sequential=sequential)
+        self.trace.add("read", t=t, path=self._paths.get(id(fh), ""),
+                       offset=offset, size=length, sequential=sequential)
+        return data
+
+    def write(self, fh, offset: int, length: int, data=None,
+              sequential: bool = False):
+        """Record a write, then delegate."""
+        t = self._now()
+        result = yield from self.inner.write(fh, offset, length, data=data,
+                                             sequential=sequential)
+        self.trace.add("write", t=t, path=self._paths.get(id(fh), ""),
+                       offset=offset, size=length, sequential=sequential)
+        return result
+
+    def close(self, fh, **kw):
+        """Record a close, then delegate."""
+        t = self._now()
+        version = yield from self.inner.close(fh, **kw)
+        self.trace.add("close", t=t, path=self._paths.pop(id(fh), ""))
+        return version
+
+    def unlink(self, path: str):
+        """Record an unlink, then delegate."""
+        t = self._now()
+        entry = yield from self.inner.unlink(path)
+        self.trace.add("unlink", t=t, path=path)
+        return entry
+
+    def mkdir(self, path: str):
+        """Delegate (namespace setup is not part of the I/O trace)."""
+        result = yield from self.inner.mkdir(path)
+        return result
+
+    def atomic_append(self, path: str, length: int, data=None, **kw):
+        """Recorded as open/write/close.  The append offset is recorded
+        as 0 (the recorder cannot know the file size without an extra
+        stat); replaying appends faithfully needs the caller to go
+        through open/write/close so the true offsets are captured."""
+        t = self._now()
+        result = yield from self.inner.atomic_append(path, length,
+                                                     data=data, **kw)
+        self.trace.add("open", t=t, path=path, mode="w", create=True)
+        self.trace.add("write", t=t, path=path, offset=0, size=length,
+                       sequential=True)
+        self.trace.add("close", t=t, path=path)
+        return result

@@ -1,0 +1,69 @@
+"""Trace format.
+
+Mirrors what the paper's interception utilities collected: one record per
+I/O request "with accurate timing information for the starting and ending
+time of each request".  ``t`` is the request's start time relative to the
+trace's origin; the replayer decides whether to honour it (paced modes)
+or ignore it (as-fast-as-possible modes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+OPS = ("open", "read", "write", "close", "unlink", "think",
+       "query_start", "query_end")
+
+
+@dataclass
+class TraceRecord:
+    """One traced request."""
+
+    t: float                 # start time, seconds from trace origin
+    op: str
+    path: str = ""
+    offset: int = 0
+    size: int = 0
+    mode: str = "r"          # for open
+    create: bool = False     # for open
+    sequential: bool = False
+    dur: float = 0.0         # think/gap duration for pacing ops
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown trace op {self.op!r}")
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of requests for one replayer process."""
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def add(self, op: str, *, t: Optional[float] = None, **kw) -> TraceRecord:
+        """Append a record (timestamp defaults to the previous one)."""
+        if t is None:
+            t = self.records[-1].t if self.records else 0.0
+        rec = TraceRecord(t=t, op=op, **kw)
+        self.records.append(rec)
+        return rec
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(r.size for r in self.records if r.op == "read")
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(r.size for r in self.records if r.op == "write")
+
+    @property
+    def duration(self) -> float:
+        return self.records[-1].t if self.records else 0.0

@@ -1,0 +1,81 @@
+"""Architectural conformance: the code's import graph must respect the
+paper's Figure 2 component layering (and stay acyclic)."""
+
+import ast
+import pathlib
+
+import networkx as nx
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def import_graph() -> "nx.DiGraph":
+    g = nx.DiGraph()
+    for path in SRC.rglob("*.py"):
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        mod = mod.removesuffix(".__init__")
+        g.add_node(mod)
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.startswith("repro"):
+                if node.module != mod:  # lazy-export self-import idiom
+                    g.add_edge(mod, node.module)
+            elif isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name.startswith("repro") and a.name != mod:
+                        g.add_edge(mod, a.name)
+    return g
+
+
+def package_of(mod: str) -> str:
+    parts = mod.split(".")
+    return parts[1] if len(parts) > 1 else parts[0]
+
+
+def test_no_import_cycles():
+    g = import_graph()
+    cycles = list(nx.simple_cycles(g))
+    assert cycles == [], f"import cycles: {cycles}"
+
+
+def test_substrate_never_imports_core():
+    """The DES/network/storage substrate must not know about Sorrento."""
+    g = import_graph()
+    substrate = {"sim", "network", "storage", "cluster", "kvstore"}
+    upper = {"core", "baselines", "workloads", "experiments", "api", "tools"}
+    for src, dst in g.edges:
+        if package_of(src) in substrate:
+            assert package_of(dst) not in upper, (src, dst)
+
+
+def test_layering_matches_figure2():
+    """Figure 2's arcs: membership underlies location; location underlies
+    replication/placement concerns (provider); namespace and provider
+    underlie the client.  Expressed as 'lower layers never import higher'."""
+    g = import_graph()
+    order = {
+        "repro.core.ids": 0, "repro.core.extent": 0, "repro.core.params": 0,
+        "repro.core.hashing": 1, "repro.core.membership": 1,
+        "repro.core.layout": 1, "repro.core.segment": 1,
+        "repro.core.location": 2, "repro.core.twophase": 2,
+        "repro.core.placement": 2, "repro.core.migration": 2,
+        "repro.core.locality": 2, "repro.core.namespace": 2,
+        "repro.core.provider": 3,
+        "repro.core.client": 4,
+        "repro.core.volume": 5,
+    }
+    for src, dst in g.edges:
+        if src in order and dst in order:
+            assert order[src] >= order[dst], (
+                f"{src} (layer {order[src]}) imports {dst} "
+                f"(layer {order[dst]}) — Figure 2 layering violated"
+            )
+
+
+def test_baselines_do_not_depend_on_sorrento_core():
+    """NFS/PVFS are independent comparison systems, not Sorrento clients."""
+    g = import_graph()
+    for src, dst in g.edges:
+        if package_of(src) == "baselines":
+            assert package_of(dst) != "core", (src, dst)

@@ -1,0 +1,64 @@
+"""Property tests: consistent hashing under membership churn.
+
+The location protocol's efficiency rests on the classic consistent-
+hashing guarantee: membership changes only remap keys touching the
+changed node.  These tests drive arbitrary join/leave sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import HashRing
+
+KEYS = list(range(0, 3_000_000, 4099))  # ~730 spread-out segids
+
+
+def snapshot(ring, members):
+    return {k: ring.home_host(k, members) for k in KEYS}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_initial=st.integers(min_value=2, max_value=10),
+    events=st.lists(st.tuples(st.sampled_from("jl"),
+                              st.integers(min_value=0, max_value=14)),
+                    min_size=1, max_size=8),
+)
+def test_churn_only_moves_keys_involving_changed_node(n_initial, events):
+    ring = HashRing(vnodes=32)
+    members = {f"n{i}" for i in range(n_initial)}
+    before = snapshot(ring, sorted(members))
+    for kind, idx in events:
+        host = f"n{idx}"
+        if kind == "j":
+            changed = host not in members
+            members.add(host)
+        else:
+            if len(members) == 1:
+                continue
+            changed = host in members
+            members.discard(host)
+        after = snapshot(ring, sorted(members))
+        for k in KEYS:
+            if before[k] != after[k]:
+                # Every remapped key either left the removed node or
+                # landed on the added node.
+                assert changed
+                assert after[k] == host or before[k] == host, (
+                    k, before[k], after[k], kind, host)
+        before = after
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_join_takes_fair_share(n):
+    """A new node's share of keys is within sane bounds of 1/(n+1)."""
+    ring = HashRing(vnodes=64)
+    members = sorted(f"n{i}" for i in range(n))
+    before = snapshot(ring, members)
+    after = snapshot(ring, members + ["newbie"])
+    moved = sum(1 for k in KEYS if before[k] != after[k])
+    fair = len(KEYS) / (n + 1)
+    assert 0.3 * fair <= moved <= 3.0 * fair, (moved, fair)
+    # And every moved key moved *to* the newbie.
+    assert all(after[k] == "newbie" for k in KEYS if before[k] != after[k])

@@ -1,0 +1,86 @@
+"""Tests for the interactive (desktop-style) workload generator."""
+
+import statistics
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.params import SorrentoParams
+from repro.workloads import replay
+from repro.workloads.interactive import InteractiveProfile, make_trace
+
+KB = 1 << 10
+
+
+def test_trace_structure_and_mix():
+    tr = make_trace(300, seed=1)
+    ops = [r.op for r in tr]
+    opens = ops.count("open")
+    assert opens >= 250  # deletes have no open
+    # Writes come first (nothing to read before something is created).
+    first_data = next(r for r in tr if r.op in ("read", "write"))
+    assert first_data.op == "write"
+    assert ops.count("unlink") > 0
+    assert ops.count("think") > 30  # bursts with gaps
+
+
+def test_file_sizes_are_small_with_long_tail():
+    tr = make_trace(600, seed=2)
+    sizes = {}
+    for r in tr:
+        if r.op == "write":
+            sizes[r.path] = sizes.get(r.path, 0) + r.size
+    values = sorted(sizes.values())
+    median = values[len(values) // 2]
+    assert median < 32 * KB            # most files small
+    assert max(values) > 10 * median   # long tail
+
+
+def test_reads_are_whole_file_sequential():
+    tr = make_trace(400, seed=3)
+    # Sum of read bytes per (open ... close) session equals the file's
+    # written size.
+    written = {}
+    pos = {}
+    for r in tr:
+        if r.op == "write":
+            written[r.path] = max(written.get(r.path, 0), r.offset + r.size)
+        if r.op == "read":
+            expect = pos.get((r.path, id(r)), None)
+            assert r.sequential
+            assert r.offset + r.size <= written[r.path]
+
+
+def test_temporal_locality():
+    """Reads concentrate on recently-used files."""
+    tr = make_trace(800, seed=4,
+                    profile=InteractiveProfile(locality_bias=0.9))
+    reads = [r.path for r in tr if r.op == "open" and r.mode == "r"]
+    distinct = len(set(reads))
+    assert distinct < 0.6 * len(reads)  # heavy reuse
+
+
+def test_replays_cleanly_on_sorrento():
+    dep = SorrentoDeployment(
+        small_cluster(3, n_compute=2, capacity_per_node=8 << 30),
+        SorrentoConfig(params=SorrentoParams(), seed=9),
+    )
+    dep.warm_up()
+    client = dep.client_on("c00")
+    dep.run(client.mkdir("/home"))
+    tr = make_trace(60, seed=5)
+    stats = dep.run(replay(client, tr, mode="asap"),
+                    until=dep.sim.now + 3600)
+    assert stats.errors == 0
+    assert stats.bytes_written > 0 and stats.bytes_read > 0
+
+
+def test_deterministic_per_seed():
+    a = make_trace(100, seed=7)
+    b = make_trace(100, seed=7)
+    assert [(r.op, r.path, r.size) for r in a] == \
+        [(r.op, r.path, r.size) for r in b]
+    c = make_trace(100, seed=8)
+    assert [(r.op, r.path, r.size) for r in a] != \
+        [(r.op, r.path, r.size) for r in c]

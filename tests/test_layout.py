@@ -1,0 +1,217 @@
+"""Tests for file layouts: Linear / Striped / Hybrid and the sizing formula."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import (
+    HYBRID,
+    LINEAR,
+    MAX_SEGMENT,
+    MB,
+    STRIPED,
+    hybrid_segment_max,
+    linear_segment_max,
+    make_layout,
+)
+
+_ids = itertools.count(1)
+
+
+def next_id():
+    return next(_ids)
+
+
+# ------------------------------------------------------- sizing formula
+def test_linear_sizing_formula():
+    # min{512, 8^(i//8)} MB: 1 MB for i 0..7, 8 MB for 8..15, 64 MB for
+    # 16..23, 512 MB from 24 on.
+    assert [linear_segment_max(i) // MB for i in (0, 7)] == [1, 1]
+    assert [linear_segment_max(i) // MB for i in (8, 15)] == [8, 8]
+    assert [linear_segment_max(i) // MB for i in (16, 23)] == [64, 64]
+    assert linear_segment_max(24) == MAX_SEGMENT
+    assert linear_segment_max(1000) == MAX_SEGMENT
+
+
+def test_hybrid_sizing_formula():
+    # group i with j segments per group: min{512, 8^(i*j//8)} MB.
+    assert hybrid_segment_max(0, 4) == 1 * MB
+    assert hybrid_segment_max(1, 4) == 1 * MB   # 4//8 = 0
+    assert hybrid_segment_max(2, 4) == 8 * MB   # 8//8 = 1
+    assert hybrid_segment_max(4, 4) == 64 * MB  # 16//8 = 2
+    assert hybrid_segment_max(100, 4) == MAX_SEGMENT
+
+
+def test_sizing_rejects_negative():
+    with pytest.raises(ValueError):
+        linear_segment_max(-1)
+    with pytest.raises(ValueError):
+        hybrid_segment_max(0, 0)
+
+
+# --------------------------------------------------------------- linear
+def test_linear_grow_small_file():
+    lay = make_layout(LINEAR, next_id)
+    created = lay.grow_to(100 * 1024, next_id)
+    assert len(created) == 1
+    assert lay.segments[0].size == 100 * 1024
+    assert lay.size == 100 * 1024
+
+
+def test_linear_grow_expands_last_before_adding():
+    lay = make_layout(LINEAR, next_id)
+    lay.grow_to(MB // 2, next_id)
+    created = lay.grow_to(MB, next_id)  # still fits in segment 0 (1 MB cap)
+    assert created == []
+    assert len(lay.segments) == 1
+    created = lay.grow_to(MB + 1, next_id)
+    assert len(created) == 1
+    assert len(lay.segments) == 2
+
+
+def test_linear_grow_large_file_segment_sizes():
+    lay = make_layout(LINEAR, next_id)
+    lay.grow_to(10 * MB, next_id)
+    sizes = [r.size for r in lay.segments]
+    # 8 x 1MB + 2MB in the ninth (8MB-cap) segment.
+    assert sizes == [MB] * 8 + [2 * MB]
+    assert sum(sizes) == 10 * MB
+
+
+def test_linear_locate_spans_segments():
+    lay = make_layout(LINEAR, next_id)
+    lay.grow_to(3 * MB, next_id)
+    pieces = lay.locate(MB - 10, 20)
+    assert pieces == [(0, MB - 10, 10), (1, 0, 10)]
+
+
+def test_linear_locate_full_coverage():
+    lay = make_layout(LINEAR, next_id)
+    lay.grow_to(10 * MB, next_id)
+    pieces = lay.locate(0, 10 * MB)
+    assert sum(p[2] for p in pieces) == 10 * MB
+    # Pieces are in file order and contiguous.
+    assert [p[0] for p in pieces] == sorted({p[0] for p in pieces})
+
+
+def test_locate_rejects_out_of_bounds():
+    lay = make_layout(LINEAR, next_id)
+    lay.grow_to(1000, next_id)
+    with pytest.raises(ValueError):
+        lay.locate(900, 200)
+    with pytest.raises(ValueError):
+        lay.locate(-1, 10)
+
+
+def test_grow_cannot_shrink():
+    lay = make_layout(LINEAR, next_id)
+    lay.grow_to(1000, next_id)
+    with pytest.raises(ValueError):
+        lay.grow_to(500, next_id)
+
+
+# --------------------------------------------------------------- striped
+def test_striped_requires_size_and_count():
+    with pytest.raises(ValueError):
+        make_layout(STRIPED, next_id)
+
+
+def test_striped_allocates_all_segments_up_front():
+    lay = make_layout(STRIPED, next_id, stripe_count=4, fixed_size=4 * MB)
+    assert len(lay.segments) == 4
+    lay.grow_to(4 * MB, next_id)
+    assert all(r.size == MB for r in lay.segments)
+
+
+def test_striped_round_robin():
+    lay = make_layout(STRIPED, next_id, stripe_count=4, fixed_size=4 * MB,
+                      stripe_unit=1024)
+    lay.grow_to(4 * MB, next_id)
+    # Block k lives on segment k mod 4.
+    assert lay.locate(0, 1024) == [(0, 0, 1024)]
+    assert lay.locate(1024, 1024) == [(1, 0, 1024)]
+    assert lay.locate(4 * 1024, 1024) == [(0, 1024, 1024)]
+
+
+def test_striped_cannot_exceed_fixed_size():
+    lay = make_layout(STRIPED, next_id, stripe_count=2, fixed_size=MB)
+    with pytest.raises(ValueError):
+        lay.grow_to(2 * MB, next_id)
+
+
+def test_striped_wide_read_touches_all_segments():
+    lay = make_layout(STRIPED, next_id, stripe_count=4, fixed_size=4 * MB,
+                      stripe_unit=1024)
+    lay.grow_to(4 * MB, next_id)
+    pieces = lay.locate(0, 64 * 1024)
+    assert {p[0] for p in pieces} == {0, 1, 2, 3}
+    assert sum(p[2] for p in pieces) == 64 * 1024
+
+
+# ---------------------------------------------------------------- hybrid
+def test_hybrid_grows_by_groups():
+    lay = make_layout(HYBRID, next_id, stripe_count=4, stripe_unit=1024)
+    created = lay.grow_to(2 * MB, next_id)  # first group: 4 x 1MB cap
+    assert len(created) == 4
+    created = lay.grow_to(5 * MB, next_id)  # needs a second group
+    assert len(created) == 4
+    assert len(lay.segments) == 8
+
+
+def test_hybrid_locate_coverage():
+    lay = make_layout(HYBRID, next_id, stripe_count=4, stripe_unit=1024)
+    lay.grow_to(6 * MB, next_id)
+    pieces = lay.locate(0, 6 * MB)
+    assert sum(p[2] for p in pieces) == 6 * MB
+
+
+def test_hybrid_cross_group_read():
+    lay = make_layout(HYBRID, next_id, stripe_count=2, stripe_unit=1024)
+    lay.grow_to(3 * MB, next_id)  # group 0: 2x1MB full; group 1: partial
+    pieces = lay.locate(2 * MB - 512, 1024)
+    segs = {p[0] for p in pieces}
+    assert segs & {0, 1}       # tail of group 0
+    assert segs & {2, 3}       # head of group 1
+    assert sum(p[2] for p in pieces) == 1024
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        make_layout("raid6", next_id)
+
+
+# ----------------------------------------------------- property checks
+@settings(max_examples=60, deadline=None)
+@given(
+    mode_params=st.sampled_from([
+        (LINEAR, {}),
+        (STRIPED, {"stripe_count": 3, "fixed_size": 64 * MB, "stripe_unit": 4096}),
+        (HYBRID, {"stripe_count": 3, "stripe_unit": 4096}),
+    ]),
+    size=st.integers(min_value=1, max_value=20 * MB),
+    reads=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=0.99),
+                  st.integers(min_value=1, max_value=MB)),
+        max_size=8,
+    ),
+)
+def test_locate_partitions_any_range(mode_params, size, reads):
+    """Property: every located range is covered exactly once, in order."""
+    mode, params = mode_params
+    ids = itertools.count(1)
+    lay = make_layout(mode, lambda: next(ids), **params)
+    lay.grow_to(size, lambda: next(ids))
+    assert lay.size == size
+    assert sum(r.size for r in lay.segments) >= size
+    for frac, length in reads:
+        off = int(frac * size)
+        length = min(length, size - off)
+        if length == 0:
+            continue
+        pieces = lay.locate(off, length)
+        assert sum(p[2] for p in pieces) == length
+        for seg, seg_off, ln in pieces:
+            assert 0 <= seg < len(lay.segments)
+            assert seg_off + ln <= lay.segments[seg].size

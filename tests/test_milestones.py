@@ -1,0 +1,127 @@
+"""Tests for milestone versions (the Elephant-style extension, §3.5)."""
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.client import SorrentoError
+from repro.core.params import SorrentoParams
+
+MB = 1 << 20
+
+
+def deploy(seed=71, **over):
+    dep = SorrentoDeployment(
+        small_cluster(4, n_compute=2, capacity_per_node=8 << 30),
+        SorrentoConfig(params=SorrentoParams(default_degree=1,
+                                             keep_versions=2, **over),
+                       seed=seed),
+    )
+    dep.warm_up()
+    return dep
+
+
+def write_versions(dep, client, path, payloads):
+    def gen():
+        for payload in payloads:
+            fh = yield from client.open(path, "w", create=True)
+            yield from client.write(fh, 0, len(payload), data=payload)
+            yield from client.close(fh)
+        return fh
+
+    return dep.run(gen())
+
+
+def test_milestone_survives_consolidation():
+    dep = deploy()
+    client = dep.client_on("c00")
+    write_versions(dep, client, "/m", [b"v1-data!", b"v2-data!"])
+
+    def mark():
+        entry = yield from client.mark_milestone("/m", version=1)
+        return entry
+
+    entry = dep.run(mark())
+    assert entry["milestones"] == (1,)
+    # Pile on versions so consolidation (keep 2) would normally drop v1.
+    write_versions(dep, client, "/m",
+                   [b"v3-data!", b"v4-data!", b"v5-data!"])
+    dep.sim.run(until=dep.sim.now + 30)
+
+    def read_old():
+        fh = yield from client.open("/m", "r", version=1)
+        data = yield from client.read(fh, 0, 8)
+        return data
+
+    assert dep.run(read_old()) == b"v1-data!"
+
+
+def test_unmarked_old_versions_do_get_consolidated():
+    dep = deploy()
+    client = dep.client_on("c00")
+    fh = write_versions(dep, client, "/gone-old",
+                        [b"v1", b"v2", b"v3", b"v4", b"v5"])
+    dep.sim.run(until=dep.sim.now + 30)
+    segid = fh.layout.segments[0].segid if fh.layout.segments else fh.fileid
+    owner = next(p for p in dep.providers.values()
+                 if p.store.latest_committed(segid) is not None)
+    assert len(owner.store.versions_of(segid)) <= 2
+
+
+def test_open_historical_version_readonly():
+    dep = deploy()
+    client = dep.client_on("c00")
+    write_versions(dep, client, "/ro", [b"one", b"two"])
+
+    def bad():
+        with pytest.raises(SorrentoError, match="read-only"):
+            yield from client.open("/ro", "w", version=1)
+        with pytest.raises(SorrentoError, match="no version"):
+            yield from client.open("/ro", "r", version=9)
+
+    dep.run(bad())
+
+
+def test_latest_still_current_after_milestone():
+    dep = deploy()
+    client = dep.client_on("c00")
+    write_versions(dep, client, "/cur", [b"old-old!", b"new-new!"])
+    dep.run(client.mark_milestone("/cur", version=1))
+
+    def read_latest():
+        fh = yield from client.open("/cur", "r")
+        data = yield from client.read(fh, 0, 8)
+        return fh.entry["version"], data
+
+    version, data = dep.run(read_latest())
+    assert version == 2
+    assert data == b"new-new!"
+
+
+def test_milestone_with_data_segments():
+    """Milestones pin data segments too, not just the index."""
+    dep = deploy()
+    client = dep.client_on("c00")
+    big1 = b"A" * (2 * MB)
+
+    def sessions():
+        fh = yield from client.open("/big", "w", create=True)
+        yield from client.write(fh, 0, len(big1), data=big1)
+        yield from client.close(fh)
+        yield from client.mark_milestone("/big", version=1)
+        for _ in range(4):
+            fh = yield from client.open("/big", "w")
+            yield from client.write(fh, 0, 4, data=b"BBBB")
+            yield from client.close(fh)
+        yield dep.sim.timeout(30)
+        old = yield from client.open("/big", "r", version=1)
+        head = yield from client.read(old, 0, 4)
+        mid = yield from client.read(old, MB, 4)
+        new = yield from client.open("/big", "r")
+        cur = yield from client.read(new, 0, 4)
+        return head, mid, cur
+
+    head, mid, cur = dep.run(sessions())
+    assert head == b"AAAA"
+    assert mid == b"AAAA"
+    assert cur == b"BBBB"

@@ -1,0 +1,203 @@
+"""Tests for the parallel byte-range sharing interface and Barrier."""
+
+import pytest
+
+from repro.api import make_parallel_session
+from repro.api.pario import ParallelIO
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.client import SorrentoError
+from repro.core.params import SorrentoParams
+from repro.sim import Barrier, Simulator
+
+MB = 1 << 20
+
+
+def deploy(seed=101):
+    dep = SorrentoDeployment(
+        small_cluster(4, n_compute=4, capacity_per_node=8 << 30),
+        SorrentoConfig(params=SorrentoParams(), seed=seed),
+    )
+    dep.warm_up()
+    return dep
+
+
+# ---------------------------------------------------------------- barrier
+def test_barrier_releases_all_at_once():
+    sim = Simulator()
+    barrier = Barrier(sim, 3)
+    released = []
+
+    def party(tag, delay):
+        yield sim.timeout(delay)
+        yield from barrier.wait()
+        released.append((tag, sim.now))
+
+    for tag, d in (("a", 1), ("b", 2), ("c", 5)):
+        sim.process(party(tag, d))
+    sim.run()
+    assert all(t == 5.0 for _tag, t in released)
+    assert len(released) == 3
+
+
+def test_barrier_is_cyclic():
+    sim = Simulator()
+    barrier = Barrier(sim, 2)
+    gens = []
+
+    def party():
+        for _ in range(3):
+            gen = yield from barrier.wait()
+            gens.append(gen)
+
+    sim.process(party())
+    sim.process(party())
+    sim.run()
+    assert sorted(gens) == [1, 1, 2, 2, 3, 3]
+
+
+def test_barrier_rejects_zero_parties():
+    with pytest.raises(ValueError):
+        Barrier(Simulator(), 0)
+
+
+# ------------------------------------------------------------- parallel IO
+def test_disjoint_writers_share_one_file():
+    dep = deploy()
+    clients = [dep.client_on(f"c0{i}") for i in range(4)]
+    sessions = make_parallel_session(clients)
+    chunk = 256 * 1024
+
+    def worker(rank, pio):
+        fh = yield from pio.open_shared("/shared", create=(rank == 0))
+        if rank != 0:
+            # Everyone opens after rank 0 created it.
+            pass
+        yield from pio.write_at(fh, rank * chunk, chunk)
+        yield from pio.sync()
+        yield from pio.close(fh)
+        return fh
+
+    def rank0_first():
+        fh = yield from sessions[0].open_shared("/shared", create=True)
+        yield from sessions[0].write_at(fh, 0, chunk)
+        return fh
+
+    # rank 0 creates; then all four (including 0 again) write stripes.
+    dep.run(rank0_first())
+    procs = [dep.sim.process(worker(r, s))
+             for r, s in enumerate(sessions)]
+    dep.sim.run(until=dep.sim.now + 120)
+    assert all(p.triggered for p in procs)
+
+    def check():
+        fh = yield from clients[0].open("/shared", "r")
+        return fh.size
+
+    assert dep.run(check()) == 4 * chunk
+
+
+def test_list_write_and_read_roundtrip():
+    dep = deploy()
+    client = dep.client_on("c00")
+    pio = ParallelIO(client)
+    payload = b"AB" * 512 + b"CD" * 512  # 2 KB
+
+    def scenario():
+        fh = yield from pio.open_shared("/vec", create=True)
+        n = yield from pio.list_write(fh, [(0, 1024), (4096, 1024)],
+                                      data=payload)
+        assert n == 2048
+        bufs = yield from pio.list_read(fh, [(0, 4), (4096, 4)])
+        yield from pio.close(fh)
+        return bufs
+
+    bufs = dep.run(scenario())
+    assert bufs[0] == b"ABAB"
+    assert bufs[1] == b"CDCD"
+
+
+def test_versioned_file_rejected():
+    dep = deploy()
+    client = dep.client_on("c00")
+    pio = ParallelIO(client)
+
+    def scenario():
+        fh = yield from client.open("/versioned", "w", create=True)
+        yield from client.close(fh)
+        with pytest.raises(SorrentoError, match="versioning"):
+            yield from pio.open_shared("/versioned")
+
+    dep.run(scenario())
+
+
+def test_sync_without_barrier_rejected():
+    dep = deploy()
+    pio = ParallelIO(dep.client_on("c00"))
+
+    def scenario():
+        with pytest.raises(SorrentoError, match="barrier"):
+            yield from pio.sync()
+
+    dep.run(scenario())
+
+
+def test_open_shared_presizes():
+    dep = deploy()
+    pio = ParallelIO(dep.client_on("c00"))
+
+    def scenario():
+        fh = yield from pio.open_shared("/presized", create=True,
+                                        size=3 * MB)
+        assert fh.size == 3 * MB
+        # A second process sees the full layout immediately.
+        fh2 = yield from ParallelIO(dep.client_on("c01")).open_shared(
+            "/presized")
+        return fh2.size
+
+    assert dep.run(scenario()) == 3 * MB
+
+
+def test_truncate_guards():
+    dep = deploy()
+    client = dep.client_on("c00")
+
+    def scenario():
+        vfh = yield from client.open("/vers", "w", create=True)
+        with pytest.raises(SorrentoError, match="versioning"):
+            yield from client.truncate(vfh, MB)
+        yield from client.drop(vfh)
+        ufh = yield from client.open("/unvers", "w", create=True,
+                                     versioning=False)
+        yield from client.truncate(ufh, MB)
+        with pytest.raises(SorrentoError, match="shrink"):
+            yield from client.truncate(ufh, 10)
+
+    dep.run(scenario())
+
+
+def test_concurrent_writers_do_not_conflict():
+    """The whole point of versioning-off: no CommitConflict storms."""
+    dep = deploy()
+    clients = [dep.client_on(f"c0{i}") for i in range(2)]
+    sessions = make_parallel_session(clients)
+    errors = []
+
+    def creator():
+        fh = yield from sessions[0].open_shared("/noconflict", create=True)
+        yield from sessions[0].write_at(fh, 0, 1024)
+
+    dep.run(creator())
+
+    def worker(rank, pio):
+        try:
+            fh = yield from pio.open_shared("/noconflict")
+            for i in range(10):
+                yield from pio.write_at(fh, (rank * 10 + i) * 4096, 4096)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    procs = [dep.sim.process(worker(r, s)) for r, s in enumerate(sessions)]
+    dep.sim.run(until=dep.sim.now + 60)
+    assert all(p.triggered for p in procs)
+    assert errors == []

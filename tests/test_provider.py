@@ -1,0 +1,203 @@
+"""Provider-daemon behaviour tests: location protocol, repair, migration."""
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.params import SorrentoParams
+
+MB = 1 << 20
+
+
+def deploy(n_storage=4, degree=1, seed=11, **over):
+    params = SorrentoParams(default_degree=degree, **over)
+    dep = SorrentoDeployment(
+        small_cluster(n_storage, n_compute=2, capacity_per_node=8 << 30),
+        SorrentoConfig(params=params, seed=seed),
+    )
+    dep.warm_up()
+    return dep
+
+
+def holders(dep, segid):
+    return sorted(
+        h for h, p in dep.providers.items()
+        if p.node.alive and p.store.latest_committed(segid) is not None
+    )
+
+
+def write_file(dep, client, path, size=2 * MB, **create):
+    def gen():
+        fh = yield from client.open(path, "w", create=True, **create)
+        yield from client.write(fh, 0, size)
+        yield from client.close(fh)
+        return fh
+
+    return dep.run(gen())
+
+
+# ------------------------------------------------------------- location
+def test_home_host_learns_new_segments_quickly():
+    dep = deploy()
+    client = dep.client_on("c00")
+    fh = write_file(dep, client, "/loc")
+    dep.sim.run(until=dep.sim.now + 2)
+    segid = fh.layout.segments[0].segid
+    home = dep.providers[client._home_of(segid)]
+    assert home.loc.lookup(segid), "home host missing the new segment"
+
+
+def test_backup_probe_finds_segment_with_cold_tables():
+    """Section 3.4.2: the multicast query covers location-table loss."""
+    from repro.core.location import LocationTable
+
+    dep = deploy()
+    client = dep.client_on("c00")
+    write_file(dep, client, "/probe")
+    for p in dep.providers.values():
+        p.loc = LocationTable()  # wipe all soft state
+    before = client.stats["probe_fallbacks"]
+
+    def read():
+        fh = yield from client.open("/probe", "r")
+        yield from client.read(fh, 0, 1024)
+        yield from client.close(fh)
+
+    dep.run(read())
+    assert client.stats["probe_fallbacks"] > before
+
+
+def test_periodic_refresh_rebuilds_tables():
+    """Soft state: tables repopulate within one refresh cycle."""
+    from repro.core.location import LocationTable
+
+    dep = deploy(refresh_cycle=30.0)
+    client = dep.client_on("c00")
+    fh = write_file(dep, client, "/refresh")
+    segid = fh.layout.segments[0].segid
+    for p in dep.providers.values():
+        p.loc = LocationTable()
+    dep.sim.run(until=dep.sim.now + 65)  # > cycle + stagger
+    home = dep.providers[client._home_of(segid)]
+    assert home.loc.lookup(segid)
+
+
+def test_garbage_entries_purged_by_age():
+    dep = deploy(refresh_cycle=20.0)
+    p = next(iter(dep.providers.values()))
+    # Inject a garbage entry that nobody will ever refresh.
+    p.loc.update(0xDEAD, "nonexistent-host", 1, 1, 100, dep.sim.now)
+    dep.sim.run(until=dep.sim.now + 20.0 * 2.5 + 25)
+    assert 0xDEAD not in p.loc
+
+
+# ------------------------------------------------------------- repair
+def test_stale_replica_syncs_to_latest():
+    dep = deploy(degree=2)
+    client = dep.client_on("c00")
+    write_file(dep, client, "/sync", size=MB)
+    dep.sim.run(until=dep.sim.now + 60)
+
+    def rewrite():
+        fh = yield from client.open("/sync", "w")
+        yield from client.write(fh, 0, MB)
+        yield from client.close(fh)
+        return fh
+
+    fh = dep.run(rewrite())
+    dep.sim.run(until=dep.sim.now + 90)
+    segid = fh.layout.segments[0].segid
+    versions = {
+        p.store.latest_committed(segid).version
+        for p in dep.providers.values()
+        if p.store.latest_committed(segid) is not None
+    }
+    assert versions == {2}
+
+
+def test_migration_never_loses_the_last_replica():
+    """Regression: trim must not race a migration into data loss."""
+    dep = deploy(n_storage=4, degree=1, migration_interval=15.0,
+                 locality_min_samples=5, repair_cooldown=10.0)
+    hosts = sorted(dep.providers)
+    reader_host = hosts[0]
+    other = hosts[1]
+    dep.preload_file("/hot", 4 * MB, degree=1, placement="locality",
+                     on=[other])
+    client = dep.client_on(reader_host)
+
+    def hammer():
+        fh = yield from client.open("/hot", "r")
+        for i in range(120):
+            yield from client.read(fh, (i % 3) * MB, MB)
+            yield dep.sim.timeout(1.0)
+        yield from client.close(fh)
+
+    proc = dep.sim.process(hammer())
+    dep.sim.run(until=dep.sim.now + 200)
+    assert proc.triggered
+    # Every data segment must still exist somewhere, at all times ending.
+    entry = dep.ns.db.get("f:/hot")
+    assert entry is not None
+    provider = dep.providers[reader_host]
+    moved = sum(p.stats["migrations"] for p in dep.providers.values())
+    assert moved > 0, "locality migration never happened"
+    # Data now lives with the reader...
+    assert provider.store.committed_segments()
+    # ...and no segment vanished cluster-wide.
+    total_live = sum(
+        len(p.store.committed_segments()) for p in dep.providers.values()
+    )
+    assert total_live >= 3  # 3 data segments + index (maybe still remote)
+
+
+def test_over_replication_trimmed_eventually():
+    dep = deploy(n_storage=4, degree=2, repair_cooldown=5.0)
+    client = dep.client_on("c00")
+    fh = write_file(dep, client, "/extra", size=MB)
+    segid = fh.layout.segments[0].segid
+    dep.sim.run(until=dep.sim.now + 60)
+    assert len(holders(dep, segid)) == 2
+    # Force a third replica onto a node that shouldn't have one.
+    spare = next(h for h in dep.providers if h not in holders(dep, segid))
+
+    def inject():
+        owner = holders(dep, segid)[0]
+        yield from dep.providers[spare].node.endpoint.call(
+            spare, "seg_replicate",
+            {"segid": segid, "version": 2 if False else 1, "from": owner},
+            size=48)
+
+    # Inject via direct handler call on the spare provider.
+    sp = dep.providers[spare]
+    owner = holders(dep, segid)[0]
+    dep.run(sp._h_seg_replicate({"segid": segid, "version": 1,
+                                 "from": owner}, "test"))
+    assert len(holders(dep, segid)) == 3
+    dep.sim.run(until=dep.sim.now + 120)
+    assert len(holders(dep, segid)) == 2, "excess replica never trimmed"
+
+
+# ----------------------------------------------------------- membership
+def test_provider_restart_rebuilds_location_table():
+    dep = deploy()
+    client = dep.client_on("c00")
+    fh = write_file(dep, client, "/restart", size=MB)
+    victim = next(h for h in sorted(dep.providers) if h != dep.ns_host)
+    dep.crash_provider(victim)
+    dep.sim.run(until=dep.sim.now + 15)
+    dep.restart_provider(victim)
+    dep.sim.run(until=dep.sim.now + 30)
+    assert dep.providers[victim].node.alive
+    assert victim in dep.providers[dep.ns_host].membership.live_providers()
+
+
+def test_crashed_provider_leaves_membership_everywhere():
+    dep = deploy()
+    victim = sorted(dep.providers)[1]
+    dep.crash_provider(victim)
+    dep.sim.run(until=dep.sim.now + 12)
+    for h, p in dep.providers.items():
+        if h == victim:
+            continue
+        assert victim not in p.membership.live_providers()

@@ -1,0 +1,105 @@
+"""Tests for rack-aware replica placement (the GoogleFS-style extension
+Section 3.7.2 sketches)."""
+
+import random
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.membership import ProviderInfo
+from repro.core.params import SorrentoParams
+from repro.core.placement import choose_provider
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+def racked_cluster(racks=2, per_rack=3, n_compute=1) -> ClusterSpec:
+    nodes = []
+    for r in range(racks):
+        for i in range(per_rack):
+            nodes.append(NodeSpec(
+                name=f"r{r}n{i}", cpus=2, cpu_ghz=1.4,
+                disks=("ultrastar-dk32ej",), export_capacity=8 * GB,
+                rack=f"rack{r}",
+            ))
+    nodes += [NodeSpec(name=f"c{i:02d}", cpus=2, cpu_ghz=1.4)
+              for i in range(n_compute)]
+    return ClusterSpec("racked", nodes)
+
+
+def info(host, rack, load=0.1, available=8 * GB):
+    return ProviderInfo(hostid=host, load=load, available=available,
+                        rack=rack)
+
+
+# ------------------------------------------------------------ pure policy
+def test_avoid_racks_prefers_other_rack():
+    rng = random.Random(0)
+    cands = {
+        "a0": info("a0", "A"), "a1": info("a1", "A"),
+        "b0": info("b0", "B"),
+    }
+    picks = {choose_provider(rng, cands, MB, 0.5, avoid_racks={"A"})
+             for _ in range(50)}
+    assert picks == {"b0"}
+
+
+def test_avoid_racks_falls_back_when_unavoidable():
+    rng = random.Random(0)
+    cands = {"a0": info("a0", "A"), "a1": info("a1", "A")}
+    pick = choose_provider(rng, cands, MB, 0.5, avoid_racks={"A"})
+    assert pick in cands  # preference, not a hard constraint
+
+
+def test_avoid_racks_respects_exclusion_in_fallback():
+    rng = random.Random(0)
+    cands = {"a0": info("a0", "A"), "a1": info("a1", "A")}
+    pick = choose_provider(rng, cands, MB, 0.5, avoid_racks={"A"},
+                           exclude={"a0"})
+    assert pick == "a1"
+
+
+def test_unracked_candidates_never_avoided():
+    rng = random.Random(0)
+    cands = {"x": info("x", "")}
+    assert choose_provider(rng, cands, MB, 0.5, avoid_racks={"A"}) == "x"
+
+
+# ------------------------------------------------------------ end to end
+def test_replicas_land_on_distinct_racks():
+    dep = SorrentoDeployment(
+        racked_cluster(racks=2, per_rack=3),
+        SorrentoConfig(params=SorrentoParams(default_degree=2), seed=81),
+    )
+    dep.warm_up()
+    client = dep.client_on("c00")
+
+    def load():
+        for i in range(6):
+            fh = yield from client.open(f"/r{i}", "w", create=True)
+            yield from client.write(fh, 0, 1 * MB)
+            yield from client.close(fh)
+
+    dep.run(load())
+    dep.sim.run(until=dep.sim.now + 120)  # background replication
+
+    rack_of = {s.name: s.rack for s in dep.spec.nodes}
+    cross_rack = 0
+    total = 0
+    seen = {}
+    for host, provider in dep.providers.items():
+        for seg in provider.store.committed_segments():
+            seen.setdefault(seg.segid, set()).add(rack_of[host])
+    for segid, racks in seen.items():
+        holders = sum(
+            1 for p in dep.providers.values()
+            if p.store.latest_committed(segid) is not None
+        )
+        if holders >= 2:
+            total += 1
+            if len(racks) >= 2:
+                cross_rack += 1
+    assert total > 0
+    # The replica-repair path is rack-aware; the vast majority of
+    # replicated segments must span both racks.
+    assert cross_rack >= 0.8 * total, (cross_rack, total)

@@ -1,0 +1,94 @@
+"""Tests for trace recording + cross-system replay."""
+
+from repro.baselines import NFSDeployment
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.params import SorrentoParams
+from repro.workloads import replay
+from repro.workloads.record import RecordingClient
+
+KB = 1 << 10
+
+
+def sorrento():
+    dep = SorrentoDeployment(
+        small_cluster(3, n_compute=2),
+        SorrentoConfig(params=SorrentoParams(), seed=111),
+    )
+    dep.warm_up()
+    return dep
+
+
+def drive_workload(dep, client):
+    def gen():
+        fh = yield from client.open("/rec", "w", create=True)
+        yield from client.write(fh, 0, 8 * KB, sequential=True)
+        yield from client.write(fh, 8 * KB, 8 * KB, sequential=True)
+        yield from client.close(fh)
+        rfh = yield from client.open("/rec", "r")
+        yield from client.read(rfh, 0, 4 * KB)
+        yield from client.close(rfh)
+        yield from client.unlink("/rec")
+
+    dep.run(gen())
+
+
+def test_recorder_captures_operations():
+    dep = sorrento()
+    rec = RecordingClient(dep.client_on("c00"), name="w1")
+    drive_workload(dep, rec)
+    ops = [r.op for r in rec.trace]
+    assert ops == ["open", "write", "write", "close", "open", "read",
+                   "close", "unlink"]
+    assert rec.trace.bytes_written == 16 * KB
+    assert rec.trace.bytes_read == 4 * KB
+
+
+def test_recorded_timestamps_are_monotone_relative():
+    dep = sorrento()
+    rec = RecordingClient(dep.client_on("c00"), name="w1")
+    drive_workload(dep, rec)
+    times = [r.t for r in rec.trace]
+    assert times[0] == 0.0
+    assert times == sorted(times)
+    assert times[-1] > 0
+
+
+def test_recorded_trace_replays_on_another_system():
+    """Record on Sorrento, replay on NFS — the paper's methodology."""
+    dep = sorrento()
+    rec = RecordingClient(dep.client_on("c00"), name="xsys")
+    drive_workload(dep, rec)
+
+    nfs = NFSDeployment(small_cluster(1, n_compute=2), seed=0)
+    nfs.warm_up()
+    stats = nfs.run(replay(nfs.client_on("c00"), rec.trace, mode="asap"))
+    assert stats.errors == 0
+    assert stats.bytes_written == 16 * KB
+    assert stats.bytes_read == 4 * KB
+
+
+def test_recorded_trace_replays_paced():
+    dep = sorrento()
+    rec = RecordingClient(dep.client_on("c00"), name="paced")
+    drive_workload(dep, rec)
+    duration = rec.trace.duration
+
+    dep2 = sorrento()
+    stats = dep2.run(replay(dep2.client_on("c00"), rec.trace, mode="paced"))
+    assert stats.errors == 0
+    assert stats.elapsed >= duration * 0.9
+
+
+def test_passthrough_of_unrecorded_methods():
+    dep = sorrento()
+    rec = RecordingClient(dep.client_on("c00"))
+    assert rec.stats is rec.inner.stats  # attribute passthrough
+
+    def gen():
+        yield from rec.mkdir("/dir")
+        listing = yield from rec.listdir("/")
+        return listing
+
+    assert "dir/" in dep.run(gen())
+    assert len(rec.trace) == 0  # mkdir/listdir are not data-path ops

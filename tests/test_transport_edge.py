@@ -1,0 +1,124 @@
+"""Edge-case tests for the RPC transport layer."""
+
+import pytest
+
+from repro.network import Endpoint, Fabric, RpcTimeout
+from repro.network.switch import Host
+from repro.sim import Simulator
+
+
+def make_net(n=2):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    eps = {}
+    for i in range(n):
+        host = Host(sim, f"n{i}")
+        fabric.attach(host)
+        eps[f"n{i}"] = Endpoint(sim, fabric, host)
+    return sim, fabric, eps
+
+
+def test_late_response_after_timeout_is_ignored():
+    """A response that arrives after the caller gave up must not crash or
+    leak into a later call."""
+    sim, fabric, eps = make_net()
+
+    def sluggish(payload, src):
+        yield sim.timeout(2.0)
+        return ("late", 32)
+
+    eps["n1"].register("slow", sluggish)
+    outcomes = []
+
+    def client():
+        with pytest.raises(RpcTimeout):
+            yield from eps["n0"].call("n1", "slow", timeout=0.5)
+        outcomes.append("timed-out")
+        # A fresh call right away gets ITS response, not the stale one.
+        eps["n1"].unregister("slow")
+        eps["n1"].register("slow", lambda p, s: ("fresh", 32))
+        resp = yield from eps["n0"].call("n1", "slow", timeout=5.0)
+        outcomes.append(resp)
+
+    sim.run_process(sim.process(client()))
+    sim.run()  # let the stale response land harmlessly
+    assert outcomes == ["timed-out", "fresh"]
+
+
+def test_duplicate_service_registration_rejected():
+    sim, fabric, eps = make_net()
+    eps["n1"].register("svc", lambda p, s: None)
+    with pytest.raises(ValueError):
+        eps["n1"].register("svc", lambda p, s: None)
+    eps["n1"].unregister("svc")
+    eps["n1"].register("svc", lambda p, s: ("v2", 16))
+
+    def client():
+        resp = yield from eps["n0"].call("n1", "svc")
+        return resp
+
+    assert sim.run_process(sim.process(client())) == "v2"
+
+
+def test_oneway_generator_handler_runs():
+    sim, fabric, eps = make_net()
+    seen = []
+
+    def handler(payload, src):
+        yield sim.timeout(0.3)
+        seen.append((sim.now, payload))
+
+    eps["n1"].register("note", handler)
+    eps["n0"].send("n1", "note", "async")
+    sim.run()
+    assert seen and seen[0][1] == "async"
+    assert seen[0][0] >= 0.3
+
+
+def test_handler_return_conventions():
+    sim, fabric, eps = make_net()
+    eps["n1"].register("none", lambda p, s: None)
+    eps["n1"].register("bare", lambda p, s: {"k": 1})
+    eps["n1"].register("sized", lambda p, s: ({"k": 2}, 128))
+
+    def client():
+        a = yield from eps["n0"].call("n1", "none")
+        b = yield from eps["n0"].call("n1", "bare")
+        c = yield from eps["n0"].call("n1", "sized")
+        return a, b, c
+
+    a, b, c = sim.run_process(sim.process(client()))
+    assert a is None
+    assert b == {"k": 1}
+    assert c == {"k": 2}
+
+
+def test_crash_during_handler_drops_response():
+    """If the server dies while the handler runs, the caller times out
+    (no phantom response from a dead node)."""
+    sim, fabric, eps = make_net()
+
+    def slow(payload, src):
+        yield sim.timeout(1.0)
+        return ("ghost", 32)
+
+    eps["n1"].register("slow", slow)
+
+    def killer():
+        yield sim.timeout(0.5)
+        fabric.hosts["n1"].alive = False
+
+    def client():
+        with pytest.raises(RpcTimeout):
+            yield from eps["n0"].call("n1", "slow", timeout=3.0)
+        return "ok"
+
+    sim.process(killer())
+    assert sim.run_process(sim.process(client())) == "ok"
+
+
+def test_multicast_to_empty_group_is_noop():
+    sim, fabric, eps = make_net()
+    eps["n0"].multicast("ghost-group", "svc", None, size=32)
+    sim.run()
+    assert fabric.messages_dropped == 0
