@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 from repro.cluster import ClusterSpec, Node
 from repro.network import Fabric
+from repro.runtime import CallPolicy, MetricsRegistry
 from repro.sim import Resource, RngStreams, Simulator
 
 #: NFS transfer size per wire request (Linux 2.4 over UDP commonly 8 KB).
@@ -104,9 +105,11 @@ class NFSServer:
         # service path as a single queue.
         self.daemon = Resource(node.sim, capacity=1)
         self.ops = 0
+        self.rpc = node.runtime
         for svc in ("nfs_lookup", "nfs_create", "nfs_read", "nfs_write",
                     "nfs_unlink", "nfs_commit"):
-            node.endpoint.register(svc, getattr(self, "_h_" + svc[4:]))
+            self.rpc.register(svc, getattr(self, "_h_" + svc[4:]),
+                              replace=True)
         node.spawn(self._flusher(), name="nfs-flush")
         self._dirty = 0
 
@@ -191,11 +194,12 @@ class NFSClient:
         self.sim = node.sim
         self.server = server
         self.rpc_timeout = rpc_timeout
+        self.rpc = node.runtime
+        self.rpc.configure(policy=CallPolicy(timeout=rpc_timeout))
         self.stats = {"reads": 0, "writes": 0, "opens": 0}
 
     def _call(self, svc: str, payload, size: int = 64):
-        result = yield from self.node.endpoint.call(
-            self.server, svc, payload, size=size, timeout=self.rpc_timeout)
+        result = yield from self.rpc.call(self.server, svc, payload, size=size)
         return result
 
     def open(self, path: str, mode: str = "r", create: bool = False, **_kw):
@@ -280,6 +284,9 @@ class NFSDeployment:
         self.rngs = RngStreams(seed)
         self.fabric = Fabric(self.sim, latency=spec.latency)
         self.nodes = {s.name: Node(self.sim, self.fabric, s) for s in spec.nodes}
+        self.metrics = MetricsRegistry()
+        for node in self.nodes.values():
+            node.runtime.configure(registry=self.metrics)
         server = server or spec.storage_nodes[0].name
         self.server_host = server
         self.server = NFSServer(self.nodes[server])

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.cluster import ClusterSpec, Node
 from repro.network import Fabric
+from repro.runtime import CallPolicy, MetricsRegistry
 from repro.sim import RngStreams, Simulator, gather
 
 #: PVFS default stripe unit.
@@ -60,9 +61,11 @@ class PVFSManager:
         self.iods = iods
         self.meta: Dict[str, dict] = {}
         self.ops = 0
+        self.rpc = node.runtime
         for svc in ("pvfs_lookup", "pvfs_create", "pvfs_unlink",
                     "pvfs_setsize"):
-            node.endpoint.register(svc, getattr(self, "_h_" + svc[5:]))
+            self.rpc.register(svc, getattr(self, "_h_" + svc[5:]),
+                              replace=True)
 
     def _h_lookup(self, path: str, src: str):
         self.ops += 1
@@ -91,8 +94,7 @@ class PVFSManager:
             yield self.sim.timeout(IOD_CONTACT)
 
         def create_on(iod):
-            yield from self.node.endpoint.call(
-                iod, "iod_create", path, size=96)
+            yield from self.rpc.call(iod, "iod_create", path, size=96)
 
         yield from gather(self.sim, [create_on(i) for i in self.iods])
         self.meta[path] = {"size": 0, "niods": len(self.iods)}
@@ -123,7 +125,7 @@ class PVFSManager:
         # Figure 9's PVFS unlink < its create).
         for iod in self.iods:
             yield self.sim.timeout(IOD_CONTACT / 2)
-            self.node.endpoint.send(iod, "iod_unlink", path, size=64)
+            self.rpc.send(iod, "iod_unlink", path, size=64)
         return True, 64
 
 
@@ -135,10 +137,11 @@ class PVFSIod:
             raise ValueError("PVFS iod needs a local disk")
         self.node = node
         self.sim = node.sim
-        node.endpoint.register("iod_create", self._h_create)
-        node.endpoint.register("iod_unlink", self._h_unlink)
-        node.endpoint.register("iod_read", self._h_read)
-        node.endpoint.register("iod_write", self._h_write)
+        self.rpc = node.runtime
+        self.rpc.register("iod_create", self._h_create, replace=True)
+        self.rpc.register("iod_unlink", self._h_unlink, replace=True)
+        self.rpc.register("iod_read", self._h_read, replace=True)
+        self.rpc.register("iod_write", self._h_write, replace=True)
 
     def _fname(self, path: str) -> str:
         return "pvfs:" + path
@@ -195,11 +198,12 @@ class PVFSClient:
         self.mgr = mgr
         self.iods = iods
         self.rpc_timeout = rpc_timeout
+        self.rpc = node.runtime
+        self.rpc.configure(policy=CallPolicy(timeout=rpc_timeout))
         self.stats = {"reads": 0, "writes": 0, "opens": 0}
 
     def _call(self, host, svc, payload, size=64):
-        result = yield from self.node.endpoint.call(
-            host, svc, payload, size=size, timeout=self.rpc_timeout)
+        result = yield from self.rpc.call(host, svc, payload, size=size)
         return result
 
     # ------------------------------------------------------------- session
@@ -295,6 +299,9 @@ class PVFSDeployment:
         self.rngs = RngStreams(seed)
         self.fabric = Fabric(self.sim, latency=spec.latency)
         self.nodes = {s.name: Node(self.sim, self.fabric, s) for s in spec.nodes}
+        self.metrics = MetricsRegistry()
+        for node in self.nodes.values():
+            node.runtime.configure(registry=self.metrics)
         storage = [s.name for s in spec.storage_nodes]
         n_iods = n_iods if n_iods is not None else len(storage) - 1
         self.mgr_host = storage[0]

@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.cluster.spec import NodeSpec
 from repro.network.switch import Fabric, Host
 from repro.network.transport import Endpoint
+from repro.runtime import ServiceRuntime
 from repro.sim import BandwidthPipe, Event, Process, Simulator
 from repro.storage import DISK_SPECS, Disk, LocalFS, Raid0
 
@@ -43,6 +44,9 @@ class Node(Host):
         self.fabric = fabric
         fabric.attach(self)
         self.endpoint = Endpoint(sim, fabric, self)
+        # Daemons talk RPC through the runtime, never the raw endpoint;
+        # both survive crash()/restart() (services stay registered).
+        self.runtime = ServiceRuntime(self.endpoint)
         # CPU: a FIFO pipe whose "bytes" are reference-GHz-seconds of work.
         self.cpu_pipe = BandwidthPipe(sim, rate=spec.cpus * spec.cpu_ghz)
         # Storage device + local FS, if this node exports storage.

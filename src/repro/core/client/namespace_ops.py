@@ -1,0 +1,132 @@
+"""Pathname operations against the namespace server(s) (Section 3.1).
+
+Includes primary/standby failover and the directory-tree partitioning
+variant where each top-level directory hashes to one namespace server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.core.client.handle import SorrentoError
+from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.sim import gather
+
+
+class NamespaceOpsMixin:
+    """Namespace RPCs: lookup, create, directories, leases, milestones."""
+
+    # ------------------------------------------------------------ routing
+    @property
+    def ns_host(self) -> str:
+        """The namespace server currently targeted (failover-aware)."""
+        return self.ns_hosts[self._ns_active]
+
+    def _ns_for(self, payload) -> Optional[str]:
+        """Partitioned namespace routing: hash the top-level directory."""
+        if self.ns_partitions is None:
+            return None
+        path = payload if isinstance(payload, str) else payload.get("path", "")
+        top = path.split("/", 2)[1] if path.startswith("/") else path
+        idx = int.from_bytes(
+            hashlib.sha1(top.encode()).digest()[:4], "big"
+        ) % len(self.ns_partitions)
+        return self.ns_partitions[idx]
+
+    def _call_ns(self, service: str, payload, size: int = 64, rtts: int = 1):
+        partition = self._ns_for(payload)
+        if partition is not None:
+            try:
+                result = yield from self.rpc.call(
+                    partition, service, payload, size=size, rtts=rtts,
+                )
+                return result
+            except RpcRemoteError as exc:
+                if "NamespaceError" in exc.error:
+                    raise SorrentoError(exc.error) from exc
+                raise
+        last_exc = None
+        for _attempt in range(len(self.ns_hosts)):
+            try:
+                result = yield from self.rpc.call(
+                    self.ns_host, service, payload, size=size, rtts=rtts,
+                )
+                return result
+            except RpcRemoteError as exc:
+                if "NamespaceError" in exc.error:
+                    raise SorrentoError(exc.error) from exc
+                raise
+            except RpcTimeout as exc:
+                # Primary unreachable: fail over to the standby replica.
+                last_exc = exc
+                self._ns_active = (self._ns_active + 1) % len(self.ns_hosts)
+        raise SorrentoError(
+            f"namespace server unreachable: {last_exc}"
+        ) from last_exc
+
+    # ------------------------------------------------------------ dir ops
+    def mkdir(self, path: str):
+        """Create a directory on the namespace server."""
+        result = yield from self._call_ns("ns_mkdir", path)
+        return result
+
+    def rmdir(self, path: str):
+        """Remove an empty directory."""
+        result = yield from self._call_ns("ns_rmdir", path)
+        return result
+
+    def listdir(self, path: str):
+        if self.ns_partitions is not None and path == "/":
+            # The root spans every partition: fan out and merge.
+            def list_on(host):
+                names = yield from self.rpc.call(host, "ns_list", "/", size=64)
+                return names
+
+            parts = yield from gather(
+                self.sim, [list_on(h) for h in self.ns_partitions])
+            merged = sorted({name for names in parts for name in names})
+            return merged
+        result = yield from self._call_ns("ns_list", path)
+        return result
+
+    def stat(self, path: str):
+        """The file's namespace entry (FileID, version, policy)."""
+        result = yield from self._call_ns("ns_lookup", path)
+        return result
+
+    def create(self, path: str, *, degree: Optional[int] = None,
+               alpha: Optional[float] = None, organization: str = "linear",
+               versioning: bool = True, placement: str = "load",
+               stripe_count: int = 4, fixed_size: int = 0):
+        """Create an empty file entry (no data segments yet).
+
+        ``organization`` is the data layout mode — "linear", "striped",
+        or "hybrid" (named so because ``open()``'s own ``mode`` is the
+        r/w open mode).
+        """
+        fileid = self.ids.new_id()
+        req = {
+            "path": path, "fileid": fileid,
+            "degree": degree if degree is not None else self.params.default_degree,
+            "alpha": alpha if alpha is not None else self.params.default_alpha,
+            "mode": organization, "versioning": versioning,
+            "placement": placement,
+            "stripe_count": stripe_count, "fixed_size": fixed_size,
+        }
+        entry = yield from self._call_ns("ns_create", req, size=160)
+        return entry
+
+    # ------------------------------------------------------------ leases
+    def acquire_lease(self, path: str, duration: float = 30.0):
+        """Write-lock lease: cooperative writers avoid commit conflicts
+        by holding the lease across their session (Section 3.5)."""
+        resp = yield from self._call_ns(
+            "ns_acquire_lease", {"path": path, "duration": duration},
+            size=96)
+        return resp["status"] == "ok"
+
+    def release_lease(self, path: str):
+        """Release a previously-acquired write-lock lease."""
+        result = yield from self._call_ns("ns_release_lease", {"path": path})
+        return result

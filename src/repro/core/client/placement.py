@@ -1,0 +1,161 @@
+"""Segment location and placement (Sections 3.4, 3.7).
+
+Locating goes through the segment's home host (the consistent-hashing
+location table), with the multicast probe as the backup scheme; placing
+new segments weighs load, space, and the home-host boost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.core.client.handle import FileHandle, SorrentoError
+from repro.core.placement import choose_provider
+from repro.core.provider import LOCATION_GROUP
+from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.sim import AnyOf, Event
+
+_nonces = itertools.count(1)
+
+
+class PlacementMixin:
+    """Locate existing segments; place and create new ones."""
+
+    def _providers(self) -> List[str]:
+        return self.membership.live_providers()
+
+    def _home_of(self, segid: int) -> str:
+        providers = self._providers()
+        if not providers:
+            raise SorrentoError("no live storage providers")
+        return self.ring.home_host(segid, providers)
+
+    def _on_probe_hit(self, payload: dict, src: str) -> None:
+        ev = self._probe_waiters.get(payload["nonce"])
+        if ev is not None and not ev.triggered:
+            ev.succeed((payload["owner"], payload["version"]))
+
+    def _locate(self, segid: int, read: Optional[dict] = None):
+        """Find a segment's owners via its home host (Section 3.4.1);
+        fall back to the multicast query (Section 3.4.2) on failure."""
+        home = self._home_of(segid)
+        try:
+            resp = yield from self.rpc.call(
+                home, "loc_lookup", {"segid": segid, "read": read}, size=64,
+            )
+            if resp["owners"] or resp["inline"]:
+                return resp
+        except (RpcTimeout, RpcRemoteError):
+            pass
+        owner = yield from self._probe(segid)
+        return {"owners": [owner], "inline": None}
+
+    def _probe(self, segid: int):
+        """Backup scheme: ask everybody over multicast."""
+        self.stats["probe_fallbacks"] += 1
+        nonce = next(_nonces)
+        ev = Event(self.sim, name=f"probe:{segid:x}")
+        self._probe_waiters[nonce] = ev
+        self.rpc.multicast(LOCATION_GROUP, "loc_probe",
+                           {"segid": segid, "nonce": nonce}, size=48)
+        deadline = self.sim.timeout(self.params.rpc_timeout)
+        yield AnyOf(self.sim, [ev, deadline])
+        self._probe_waiters.pop(nonce, None)
+        if not ev.triggered or ev._callbacks is not None:
+            raise SorrentoError(f"no owner responded for segment {segid:#x}")
+        return ev.value
+
+    def _pick_owner(self, owners: List[Tuple[str, int]]) -> Tuple[str, int]:
+        """Choose among the newest-version owners at random (load spread)."""
+        if not owners:
+            raise SorrentoError("segment has no owners")
+        newest = owners[0][1]
+        best = [o for o in owners if o[1] == newest]
+        return self.rng.choice(best)
+
+    def _place_new_segment(self, segid: int, size_hint: int, alpha: float,
+                           fh: Optional[FileHandle] = None,
+                           not_on: Optional[set] = None) -> str:
+        members = self.membership.snapshot()
+        if not_on:
+            members = {h: i for h, i in members.items() if h not in not_on}
+        if not members:
+            raise SorrentoError("no live storage providers")
+        size_hint = max(size_hint, 1)
+        # Growing *linear* files keep their data together: the next
+        # segment goes where the previous one lives (unless it ran out of
+        # room); online migration is the corrective force.  Striped and
+        # hybrid files spread on purpose — their parallelism comes from
+        # distinct owners.
+        spreads = fh is not None and fh.entry.get("mode") in ("striped",
+                                                              "hybrid")
+        if fh is not None and not spreads and fh.affinity_owner is not None \
+                and fh.affinity_owner in members:
+            prev = members.get(fh.affinity_owner)
+            if prev is not None and prev.available >= size_hint \
+                    and self.rng.random() < self.params.segment_affinity:
+                return fh.affinity_owner
+        if fh is not None and fh.entry.get("placement") == "random":
+            fitting = [h for h, i in members.items()
+                       if i.available >= size_hint]
+            if not fitting:
+                raise SorrentoError("no provider can hold the segment")
+            return self.rng.choice(sorted(fitting))
+        home = self._home_of(segid)
+        boost = 0.0
+        if self.params.home_boost_enabled \
+                and size_hint <= self.params.small_segment_bytes:
+            boost = 3.0 * len(members)
+        exclude = None
+        if spreads:
+            # Stripe mates on distinct providers, capacity permitting.
+            exclude = set(fh.new_segments.values())
+            if len(exclude) >= len(members):
+                exclude = None
+        target = choose_provider(self.rng, members, size_hint, alpha,
+                                 exclude=exclude,
+                                 home_host=home, home_boost=boost)
+        if target is None and exclude:
+            target = choose_provider(self.rng, members, size_hint, alpha,
+                                     home_host=home, home_boost=boost)
+        if target is None:
+            raise SorrentoError("no provider can hold the segment")
+        return target
+
+    def _create_segment(self, fh: FileHandle, ref, *,
+                        committed: bool = False, degree: Optional[int] = None,
+                        tries: int = 3) -> str:
+        """Create a brand-new segment on a placed provider.
+
+        If the chosen provider is unreachable (it may have died between
+        the heartbeat and now), re-place on another node — the client-side
+        half of self-organization.
+        """
+        failed: set = set()
+        last: Optional[Exception] = None
+        for _ in range(tries):
+            owner = self._place_new_segment(ref.segid, ref.max_size or 1,
+                                            fh.entry["alpha"], fh=fh,
+                                            not_on=failed)
+            try:
+                yield from self.rpc.call(
+                    owner, "seg_create",
+                    {"segid": ref.segid, "version": 1,
+                     "committed": committed,
+                     "degree": (degree if degree is not None
+                                else fh.entry["degree"]),
+                     "alpha": fh.entry["alpha"],
+                     "placement": fh.entry.get("placement", "load")},
+                    size=96,
+                )
+            except RpcTimeout as exc:
+                failed.add(owner)
+                last = exc
+                continue
+            fh.new_segments[ref.segid] = owner
+            fh.affinity_owner = owner
+            return owner
+        raise SorrentoError(
+            f"cannot place segment {ref.segid:#x}: {last}"
+        ) from last

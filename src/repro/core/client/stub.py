@@ -1,0 +1,61 @@
+"""The client stub proper: one object per (node, volume) binding."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.client.handle import FileHandle, SorrentoError
+from repro.core.client.io import DataPathMixin
+from repro.core.client.namespace_ops import NamespaceOpsMixin
+from repro.core.client.placement import PlacementMixin
+from repro.core.client.versioning import VersioningMixin
+from repro.core.hashing import HashRing
+from repro.core.ids import IdGenerator
+from repro.core.membership import MembershipManager
+from repro.core.params import SorrentoParams
+from repro.sim import Event
+
+
+class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
+                     VersioningMixin):
+    """Client stub bound to one node and one volume.
+
+    All methods that touch the network are generators meant to run
+    inside sim processes (``yield from client.open(...)``).
+    """
+
+    def __init__(self, node, ns_host, params: Optional[SorrentoParams] = None,
+                 rng: Optional[random.Random] = None,
+                 membership: Optional[MembershipManager] = None,
+                 ns_partitions: Optional[List[str]] = None):
+        self.node = node
+        self.sim = node.sim
+        # ns_host may be a single hostid or a failover list
+        # [primary, standby, ...] when namespace replication is on.
+        self.ns_hosts: List[str] = ([ns_host] if isinstance(ns_host, str)
+                                    else list(ns_host))
+        self._ns_active = 0
+        # Directory-tree partitioning (the other §3.1 scaling approach):
+        # each top-level directory hashes to one namespace server.
+        self.ns_partitions = list(ns_partitions) if ns_partitions else None
+        self.params = params or SorrentoParams()
+        self.rng = rng or random.Random(hash(node.hostid) & 0xFFFFFF)
+        self.rpc = node.runtime
+        self.rpc.configure(policy=self.params.rpc_policy())
+        self.membership = membership or MembershipManager(
+            node, interval=self.params.heartbeat_interval, announce=False
+        )
+        self.ring = HashRing(self.params.ring_vnodes)
+        self.ids = IdGenerator(node.hostid, self.rng, clock=lambda: self.sim.now)
+        self._probe_waiters: Dict[int, Event] = {}
+        if "loc_probe_hit" not in self.rpc.handlers:
+            self.rpc.register("loc_probe_hit", self._on_probe_hit)
+        self.stats = {"opens": 0, "reads": 0, "writes": 0, "commits": 0,
+                      "conflicts": 0, "probe_fallbacks": 0}
+
+    # ------------------------------------------------------------- misc
+    @staticmethod
+    def _check_open(fh: FileHandle) -> None:
+        if fh.closed:
+            raise SorrentoError(f"{fh.path}: handle is closed")

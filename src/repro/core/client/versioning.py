@@ -1,0 +1,302 @@
+"""Version-based consistency (Section 3.5; Figure 6 steps 6–9).
+
+Shadow creation, two-phase commit across shadowed segments, conflict
+detection, milestones, and the synchronous-commitment option of §3.6.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.core.client.handle import CommitConflict, FileHandle, SorrentoError
+from repro.core.layout import Layout
+from repro.core.twophase import CommitAborted, two_phase_commit
+from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.sim import gather
+
+
+class VersioningMixin:
+    """Shadow/commit/close lifecycle of a write session."""
+
+    def _writable_version(self, fh: FileHandle, ref):
+        """The (owner, version) this session writes for a data segment,
+        creating the shadow copy on first touch (Figure 6 step 4)."""
+        if ref.segid in fh.new_segments:
+            return fh.new_segments[ref.segid], 1
+        shadow = fh.shadows.get(ref.segid)
+        if shadow is not None:
+            return shadow
+        if fh.base_version == 0:
+            # The file was never committed, so this segment (pre-allocated
+            # in the layout, e.g. striped mode) has no owner yet.
+            owner = yield from self._create_segment(fh, ref)
+            return owner, 1
+        resp = yield from self._locate(ref.segid)
+        owners = resp["owners"]
+        last_error: Optional[Exception] = None
+        saw_race = False
+        for owner, _v in owners or []:
+            try:
+                r = yield from self.rpc.call(
+                    owner, "seg_create_shadow",
+                    {"segid": ref.segid, "base_version": ref.version},
+                    size=64,
+                )
+                fh.shadows[ref.segid] = (owner, r["version"])
+                fh.affinity_owner = owner
+                return owner, r["version"]
+            except RpcRemoteError as exc:
+                # Another writer already shadows base+1 on this owner: a
+                # write-write race surfaced early (it would conflict at
+                # commit anyway).
+                if "exists" in str(exc).lower():
+                    saw_race = True
+                last_error = exc
+            except RpcTimeout as exc:
+                last_error = exc
+        if saw_race:
+            raise CommitConflict(
+                f"segment {ref.segid:#x} already shadowed by another writer"
+            )
+        raise SorrentoError(
+            f"cannot shadow segment {ref.segid:#x}: {last_error}"
+        )
+
+    # ========================================================= commit/close
+    def commit(self, fh: FileHandle, close: bool = False,
+               synchronous: bool = False):
+        """Commit the session's shadow copies as the next file version.
+
+        Figure 6 steps (6)-(9): shadow the index segment, get namespace
+        approval, 2PC all shadows, then complete the version commit.
+        Raises :class:`CommitConflict` if another writer got there first.
+        """
+        self._check_open(fh)
+        if not fh.versioning:
+            return fh.entry["version"]
+        if not fh.dirty and fh.base_version > 0:
+            return fh.entry["version"]
+        self.stats["commits"] += 1
+        new_version = fh.base_version + 1
+        meta = {"layout": self._committed_layout(fh),
+                "attached": fh.attached, "attached_len": fh.attached_len}
+        # (6) shadow (or create) the index segment.
+        try:
+            index_owner, index_version = yield from self._prepare_index(fh)
+        except RpcTimeout as exc:
+            raise SorrentoError(
+                f"{fh.path}: index segment owner unreachable: {exc}"
+            ) from exc
+        # (7) namespace approval, with bounded retry while "busy".
+        for attempt in range(20):
+            resp = yield from self._call_ns(
+                "ns_begin_commit",
+                {"path": fh.path, "base_version": fh.base_version}, size=96)
+            status = resp["status"]
+            if status == "ok":
+                break
+            if status in ("conflict", "lease_held"):
+                yield from self._abort_shadows(fh, index_owner, index_version)
+                self.stats["conflicts"] += 1
+                raise CommitConflict(f"{fh.path}: {status}")
+            yield self.sim.timeout(0.005 * (attempt + 1))
+        else:
+            yield from self._abort_shadows(fh, index_owner, index_version)
+            raise SorrentoError(f"{fh.path}: commit grant starved")
+        # (8) 2PC across every shadowed/new segment + the index shadow.
+        participants = [
+            (owner, {"segid": segid, "version": version})
+            for segid, (owner, version) in fh.shadows.items()
+        ] + [
+            (owner, {"segid": segid, "version": 1})
+            for segid, owner in fh.new_segments.items()
+        ] + [
+            (index_owner, {"segid": fh.fileid, "version": index_version,
+                           "meta": meta}),
+        ]
+        try:
+            yield from two_phase_commit(self.rpc, participants)
+        except CommitAborted as exc:
+            yield from self._call_ns("ns_abort_commit", {"path": fh.path})
+            raise SorrentoError(f"{fh.path}: 2PC failed: {exc}") from exc
+        # (9) complete the version commit.
+        entry = yield from self._call_ns(
+            "ns_complete_commit",
+            {"path": fh.path, "new_version": new_version}, size=96,
+            rtts=self.params.close_rtts if close else 1,
+        )
+        fh.entry = entry
+        fh.base_version = new_version
+        fh.index_owner = index_owner
+        committed = dict(fh.shadows)
+        for segid, (_owner, version) in fh.shadows.items():
+            for ref in fh.layout.segments:
+                if ref.segid == segid:
+                    ref.version = version
+        fh.shadows.clear()
+        fh.new_segments.clear()
+        fh.dirty = False
+        if synchronous:
+            # Section 3.6's synchronous-commitment option: "detect version
+            # discrepancies among [the replicas], and push changes to
+            # older replicas before it returns".
+            yield from self._sync_replicas(
+                list(committed.items()) + [(fh.fileid, (index_owner,
+                                                        index_version))])
+        return new_version
+
+    def _sync_replicas(self, committed):
+        def sync_one(segid, owner, version):
+            try:
+                resp = yield from self._locate(segid)
+            except SorrentoError:
+                return
+            stale = [h for h, v in resp["owners"]
+                     if v < version and h != owner]
+            for host in stale:
+                try:
+                    yield from self.rpc.call(host, "seg_sync", {
+                        "segid": segid, "version": version, "from": owner,
+                    }, size=48)
+                except (RpcTimeout, RpcRemoteError):
+                    continue
+
+        yield from gather(self.sim, [
+            sync_one(segid, owner, version)
+            for segid, (owner, version) in committed
+        ])
+
+    def _committed_layout(self, fh: FileHandle) -> Layout:
+        layout = copy.deepcopy(fh.layout)
+        for ref in layout.segments:
+            shadow = fh.shadows.get(ref.segid)
+            if shadow is not None:
+                ref.version = shadow[1]
+            elif ref.segid in fh.new_segments:
+                ref.version = 1
+        return layout
+
+    def _prepare_index(self, fh: FileHandle):
+        if fh.base_version == 0:
+            # First commit: the index segment does not exist yet.
+            owner = self._place_new_segment(fh.fileid, 4096, fh.entry["alpha"])
+            try:
+                yield from self.rpc.call(
+                    owner, "seg_create",
+                    {"segid": fh.fileid, "version": 1,
+                     "degree": fh.entry["degree"], "alpha": fh.entry["alpha"],
+                     "placement": fh.entry.get("placement", "load")},
+                    size=96,
+                )
+            except RpcRemoteError as exc:
+                if "exists" in str(exc).lower():
+                    raise CommitConflict(
+                        f"{fh.path}: concurrent first commit"
+                    ) from exc
+                raise
+            return owner, 1
+        owner = fh.index_owner
+        if owner is None:
+            resp = yield from self._locate(fh.fileid)
+            owner, _ = self._pick_owner(resp["owners"])
+        try:
+            r = yield from self.rpc.call(
+                owner, "seg_create_shadow",
+                {"segid": fh.fileid, "base_version": fh.base_version},
+                size=64,
+            )
+        except RpcRemoteError as exc:
+            if "exists" in str(exc).lower() or "no committed base" in str(exc):
+                # Our base version is stale (someone committed past us) or
+                # another writer already shadows it: a commit conflict.
+                yield from self._abort_shadows(fh, owner, fh.base_version + 1)
+                self.stats["conflicts"] += 1
+                raise CommitConflict(f"{fh.path}: index already advanced") from exc
+            raise
+        return owner, r["version"]
+
+    def _abort_shadows(self, fh: FileHandle, index_owner: str,
+                       index_version: int):
+        aborts = [
+            self.rpc.call(owner, "seg_abort",
+                          {"segid": segid, "version": version}, size=48)
+            for segid, (owner, version) in fh.shadows.items()
+        ]
+        aborts.append(
+            self.rpc.call(index_owner, "seg_abort",
+                          {"segid": fh.fileid, "version": index_version},
+                          size=48)
+        )
+
+        def safe(gen):
+            try:
+                yield from gen
+            except (RpcTimeout, RpcRemoteError):
+                pass
+
+        yield from gather(self.sim, [safe(a) for a in aborts])
+        fh.shadows.clear()
+        fh.dirty = False
+
+    def close(self, fh: FileHandle, synchronous: bool = False):
+        """Close = implicit commit (Section 3.5).
+
+        ``synchronous=True`` selects the paper's synchronous-commitment
+        option: replicas are pushed current before close returns.
+        """
+        if fh.closed:
+            return fh.entry["version"]
+        try:
+            if fh.mode == "w" and fh.versioning \
+                    and (fh.dirty or fh.base_version == 0):
+                # Closing a brand-new file commits version 1 even when
+                # empty: the file must exist durably after create+close.
+                version = yield from self.commit(fh, close=True,
+                                                 synchronous=synchronous)
+            else:
+                version = fh.entry["version"]
+        finally:
+            fh.closed = True
+        return version
+
+    def drop(self, fh: FileHandle):
+        """Abandon the session's shadow copies without committing."""
+        if fh.dirty:
+            index_owner = fh.index_owner or self.ns_host
+            yield from self._abort_shadows(fh, index_owner, fh.base_version + 1)
+        fh.closed = True
+
+    # ========================================================= milestones
+    def mark_milestone(self, path: str, version: Optional[int] = None):
+        """Make a version permanent: it survives consolidation and stays
+        readable via ``open(path, version=...)`` forever.
+
+        Records the milestone at the namespace server, then pins the
+        index segment and every data-segment version that file version
+        references, on every owner.
+        """
+        entry = yield from self._call_ns(
+            "ns_mark_milestone", {"path": path, "version": version},
+            size=96)
+        want = version or entry["version"]
+        fh = yield from self.open(path, "r", meta_only=True, version=want)
+        pins = [(fh.fileid, want)] + [
+            (ref.segid, ref.version) for ref in fh.layout.segments
+        ]
+
+        def pin_everywhere(segid, v):
+            try:
+                resp = yield from self._locate(segid)
+            except SorrentoError:
+                return
+            for host, _hv in resp["owners"]:
+                try:
+                    yield from self.rpc.call(
+                        host, "seg_pin", {"segid": segid, "version": v},
+                        size=48)
+                except (RpcTimeout, RpcRemoteError):
+                    continue
+
+        yield from gather(self.sim, [pin_everywhere(s, v) for s, v in pins])
+        return entry

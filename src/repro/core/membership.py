@@ -49,8 +49,9 @@ class MembershipManager:
         self.on_join: List[Callable[[str], None]] = []
         self.on_leave: List[Callable[[str], None]] = []
         self.announce = announce
-        node.endpoint.subscribe(HEARTBEAT_GROUP)
-        node.endpoint.register("heartbeat", self._on_heartbeat)
+        self.rpc = node.runtime
+        self.rpc.subscribe(HEARTBEAT_GROUP)
+        self.rpc.register("heartbeat", self._on_heartbeat)
         self.start()
 
     def start(self) -> None:
@@ -91,7 +92,7 @@ class MembershipManager:
         while True:
             info = self._self_info()
             self._observe(info)  # keep self fresh in the local view
-            self.node.endpoint.multicast(
+            self.rpc.multicast(
                 HEARTBEAT_GROUP, "heartbeat", info, size=HEARTBEAT_BYTES
             )
             yield self.sim.timeout(self.interval)

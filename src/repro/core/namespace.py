@@ -107,9 +107,12 @@ class NamespaceServer:
         self.standby: Optional[str] = None    # hostid of the WAL-shipping
         #                                       target (replication ext.)
         self._ship_seq = 0
+        self.rpc = node.runtime
+        self.rpc.configure(policy=self.params.rpc_policy())
         for svc in self.SERVICES:
-            node.endpoint.register(svc, getattr(self, "_h_" + svc[3:]))
-        node.endpoint.register("nsr_apply", self._h_nsr_apply)
+            self.rpc.register(svc, getattr(self, "_h_" + svc[3:]),
+                              replace=True)
+        self.rpc.register("nsr_apply", self._h_nsr_apply, replace=True)
         node.spawn(self._flusher_loop(), name="ns-wal-flush")
         node.spawn(self._checkpoint_loop(), name="ns-checkpoint")
 
@@ -133,7 +136,7 @@ class NamespaceServer:
         if self.standby is None:
             return
         self._ship_seq += 1
-        self.node.endpoint.send(self.standby, "nsr_apply", {
+        self.rpc.send(self.standby, "nsr_apply", {
             "seq": self._ship_seq, "op": op, "key": key, "value": value,
         }, size=96 + (len(key) if isinstance(key, str) else 16))
 

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.runtime.policy import RPC_DEADLINE, CallPolicy
+
 MB = 1 << 20
 
 
@@ -78,6 +80,11 @@ class SorrentoParams:
     ns_checkpoint_interval: float = 300.0
 
     # --- RPC behaviour ---
-    rpc_timeout: float = 5.0
+    rpc_timeout: float = RPC_DEADLINE        # paper: Figure 13's 5 s deadline
     open_rtts: int = 2                       # paper: 2 TCP roundtrips to open
     close_rtts: int = 3                      # paper: 3 TCP roundtrips to close
+
+    def rpc_policy(self, attempts: int = 1, backoff: float = 0.0) -> CallPolicy:
+        """The deployment's call policy for the service runtime."""
+        return CallPolicy(timeout=self.rpc_timeout, attempts=attempts,
+                          backoff=backoff)

@@ -83,9 +83,11 @@ class StorageProvider:
         self._locality_recent: Dict[int, float] = {}
         self.stats = {"migrations": 0, "replications": 0, "syncs": 0,
                       "reads": 0, "writes": 0}
+        self.rpc = node.runtime
+        self.rpc.configure(policy=self.params.rpc_policy())
         for svc in self.SERVICES:
-            node.endpoint.register(svc, getattr(self, "_h_" + svc))
-        node.endpoint.subscribe(LOCATION_GROUP)
+            self.rpc.register(svc, getattr(self, "_h_" + svc), replace=True)
+        self.rpc.subscribe(LOCATION_GROUP)
         self.start()
 
     # ------------------------------------------------------------ lifecycle
@@ -340,10 +342,10 @@ class StorageProvider:
         if mine is not None and mine.version >= target_version:
             return {"version": mine.version}, 48
         since = mine.version if mine is not None else None
-        resp = yield from self.node.endpoint.call(
+        resp = yield from self.rpc.call(
             req["from"], "seg_fetch",
             {"segid": segid, "version": target_version, "since": since},
-            size=64, timeout=self.params.rpc_timeout,
+            size=64,
         )
         if self.store.get(segid, resp["version"]) is None:
             if resp.get("regions") is not None:
@@ -387,10 +389,10 @@ class StorageProvider:
         try:
             if satisfied():
                 return {"already": True, "version": req["version"]}, 48
-            resp = yield from self.node.endpoint.call(
+            resp = yield from self.rpc.call(
                 req["from"], "seg_fetch",
                 {"segid": segid, "version": req["version"]},
-                size=64, timeout=self.params.rpc_timeout,
+                size=64,
             )
             t0 = self.sim.now
             seg = yield from self.store.ingest(
@@ -476,7 +478,7 @@ class StorageProvider:
         """Backup scheme: answer a multicast who-has query if we own it."""
         mine = self.store.latest_committed(req["segid"])
         if mine is not None:
-            self.node.endpoint.send(src, "loc_probe_hit", {
+            self.rpc.send(src, "loc_probe_hit", {
                 "nonce": req["nonce"], "segid": req["segid"],
                 "owner": self.node.hostid, "version": mine.version,
             }, size=64)
@@ -507,7 +509,7 @@ class StorageProvider:
 
     def _loc_send(self, home: str, op: str, segid: int, version: int,
                   degree: int, size: int) -> None:
-        self.node.endpoint.send(home, "loc_update", {
+        self.rpc.send(home, "loc_update", {
             "op": op, "segid": segid, "owner": self.node.hostid,
             "version": version, "degree": degree, "size": size,
         }, size=LOC_ENTRY_BYTES)
@@ -528,7 +530,7 @@ class StorageProvider:
         for host in stale:
             if self._repair_throttled(segid, "sync", host, now):
                 continue
-            self.node.endpoint.send(host, "seg_sync", {
+            self.rpc.send(host, "seg_sync", {
                 "segid": segid, "version": latest, "from": source,
             }, size=48)
         owners = set(current) | set(stale)
@@ -572,7 +574,7 @@ class StorageProvider:
                 exclude.add(target)
                 if self._repair_throttled(segid, "repl", target, now):
                     continue
-                self.node.endpoint.send(target, "seg_replicate", {
+                self.rpc.send(target, "seg_replicate", {
                     "segid": segid, "version": latest, "from": source,
                 }, size=48)
         elif not stale and len(owners) > degree:
@@ -600,7 +602,7 @@ class StorageProvider:
         extra = sorted(current)
         victim = extra[-1]
         if not self._repair_throttled(segid, "trim", victim, now):
-            self.node.endpoint.send(victim, "seg_trim", {
+            self.rpc.send(victim, "seg_trim", {
                 "segid": segid, "version": latest,
             }, size=48)
 
@@ -708,7 +710,7 @@ class StorageProvider:
                                     size, self.sim.now)
                     self._schedule_supervision(segid)
                 continue
-            self.node.endpoint.send(home, "loc_refresh", {
+            self.rpc.send(home, "loc_refresh", {
                 "owner": self.node.hostid, "entries": entries,
             }, size=32 + LOC_ENTRY_BYTES * len(entries))
             yield self.node.cpu(
@@ -789,7 +791,7 @@ class StorageProvider:
             ]
             for v in pinned:
                 try:
-                    yield from self.node.endpoint.call(
+                    yield from self.rpc.call(
                         target, "seg_replicate", {
                             "segid": seg.segid, "version": v,
                             "from": self.node.hostid, "exact": True,
@@ -797,7 +799,7 @@ class StorageProvider:
                 except (RpcTimeout, RpcRemoteError):
                     return False
             try:
-                resp = yield from self.node.endpoint.call(
+                resp = yield from self.rpc.call(
                     target, "seg_replicate", {
                         "segid": seg.segid, "version": seg.version,
                         "from": self.node.hostid,
@@ -833,9 +835,8 @@ class StorageProvider:
             if home == self.node.hostid:
                 owners = self.loc.lookup(seg.segid)
             else:
-                resp = yield from self.node.endpoint.call(
-                    home, "loc_lookup", {"segid": seg.segid}, size=48,
-                    timeout=self.params.rpc_timeout)
+                resp = yield from self.rpc.call(
+                    home, "loc_lookup", {"segid": seg.segid}, size=48)
                 owners = resp["owners"]
         except (RpcTimeout, RpcRemoteError):
             return
@@ -843,9 +844,9 @@ class StorageProvider:
                  if h != self.node.hostid and v < seg.version]
         for host in stale:
             try:
-                yield from self.node.endpoint.call(host, "seg_sync", {
+                yield from self.rpc.call(host, "seg_sync", {
                     "segid": seg.segid, "version": seg.version,
                     "from": self.node.hostid,
-                }, size=48, timeout=self.params.rpc_timeout)
+                }, size=48)
             except (RpcTimeout, RpcRemoteError):
                 continue

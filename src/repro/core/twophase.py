@@ -12,7 +12,7 @@ providers holding the shadow segments, exposing ``seg_prepare`` /
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.network.message import RpcRemoteError, RpcTimeout
 from repro.sim import gather
@@ -22,20 +22,25 @@ class CommitAborted(Exception):
     """A participant voted no (or died) during phase 1; all were aborted."""
 
 
-def two_phase_commit(endpoint, participants: List[Tuple[str, Any]],
-                     req_size: int = 96, timeout: float = 5.0):
+def two_phase_commit(rpc, participants: List[Tuple[str, Any]],
+                     req_size: int = 96, timeout: Optional[float] = None):
     """Generator: run 2PC over ``participants``: (hostid, payload) pairs.
+
+    ``rpc`` is anything with an Endpoint-shaped ``call``/``sim`` — normally
+    a :class:`repro.runtime.ServiceRuntime`, whose policy supplies the RPC
+    deadline when ``timeout`` is None.
 
     Phase 1 sends ``seg_prepare`` to every participant in parallel; if any
     vote is negative or unreachable, ``seg_abort`` goes to all and
     :class:`CommitAborted` is raised.  Phase 2 sends ``seg_commit``.
     """
-    sim = endpoint.sim
+    sim = rpc.sim
+    kw = {} if timeout is None else {"timeout": timeout}
 
     def prepare_one(host, payload):
         try:
-            vote = yield from endpoint.call(host, "seg_prepare", payload,
-                                            size=req_size, timeout=timeout)
+            vote = yield from rpc.call(host, "seg_prepare", payload,
+                                       size=req_size, **kw)
             return bool(vote)
         except (RpcTimeout, RpcRemoteError):
             return False
@@ -44,22 +49,21 @@ def two_phase_commit(endpoint, participants: List[Tuple[str, Any]],
         prepare_one(host, payload) for host, payload in participants
     ])
     if not all(votes):
-        yield from _broadcast(endpoint, "seg_abort", participants, req_size, timeout)
+        yield from _broadcast(rpc, "seg_abort", participants, req_size, kw)
         raise CommitAborted(
             f"{votes.count(False)}/{len(votes)} participants refused"
         )
-    yield from _broadcast(endpoint, "seg_commit", participants, req_size, timeout)
+    yield from _broadcast(rpc, "seg_commit", participants, req_size, kw)
     return len(participants)
 
 
-def _broadcast(endpoint, service, participants, req_size, timeout):
+def _broadcast(rpc, service, participants, req_size, kw):
     def send_one(host, payload):
         try:
-            yield from endpoint.call(host, service, payload,
-                                     size=req_size, timeout=timeout)
+            yield from rpc.call(host, service, payload, size=req_size, **kw)
         except (RpcTimeout, RpcRemoteError):
             pass  # best effort; shadow TTLs clean up stragglers
 
-    yield from gather(endpoint.sim, [
+    yield from gather(rpc.sim, [
         send_one(host, payload) for host, payload in participants
     ])

@@ -19,6 +19,7 @@ from repro.core.namespace import NamespaceServer
 from repro.core.params import SorrentoParams
 from repro.core.provider import StorageProvider
 from repro.network import Fabric
+from repro.runtime import MetricsRegistry, Tracer
 from repro.sim import RngStreams, Simulator
 
 
@@ -29,6 +30,7 @@ class SorrentoConfig:
     volume: str = "vol0"
     params: SorrentoParams = field(default_factory=SorrentoParams)
     seed: int = 0
+    trace: bool = False                 # attach a Tracer to every runtime
     n_providers: Optional[int] = None   # cap exporting nodes used (paper's
     #                                     "each experiment may not use all")
     ns_on: Optional[str] = None         # hostid for the namespace server
@@ -55,6 +57,11 @@ class SorrentoDeployment:
         self.nodes: Dict[str, Node] = {}
         self.providers: Dict[str, StorageProvider] = {}
         self.clients: List[SorrentoClient] = []
+        # One registry (and optional tracer) for the whole deployment:
+        # every node's ServiceRuntime reports into it, so experiments can
+        # ask "how many ns_lookup calls did this run make?" in one place.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.sim) if self.config.trace else None
 
         self.memberships: Dict[str, MembershipManager] = {}
         storage_specs = spec.storage_nodes
@@ -63,6 +70,7 @@ class SorrentoDeployment:
         used_storage = {s.name for s in storage_specs}
         for nspec in spec.nodes:
             node = Node(self.sim, self.fabric, nspec)
+            node.runtime.configure(registry=self.metrics, tracer=self.tracer)
             self.nodes[nspec.name] = node
             if nspec.name not in used_storage:
                 # Non-provider nodes listen to heartbeats so client stubs
@@ -167,6 +175,7 @@ class SorrentoDeployment:
     def add_provider(self, nspec: NodeSpec) -> StorageProvider:
         """Attach a brand-new storage node at runtime (Section 2.2)."""
         node = Node(self.sim, self.fabric, nspec)
+        node.runtime.configure(registry=self.metrics, tracer=self.tracer)
         self.nodes[nspec.name] = node
         provider = StorageProvider(
             node, self.config.volume, self.params,
@@ -245,3 +254,7 @@ class SorrentoDeployment:
     def total_bytes_stored(self) -> int:
         """Sum of extent bytes across all providers."""
         return sum(p.store.bytes_stored() for p in self.providers.values())
+
+    def rpc_report(self, scope: Optional[str] = None) -> str:
+        """Per-service RPC counters from the deployment-wide registry."""
+        return self.metrics.report(scope)

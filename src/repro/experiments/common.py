@@ -8,6 +8,7 @@ from repro.baselines import NFSDeployment, PVFSDeployment
 from repro.cluster import ClusterSpec, NodeSpec
 from repro.core import SorrentoConfig, SorrentoDeployment
 from repro.core.params import SorrentoParams
+from repro.runtime import MetricsRegistry
 
 GB = 1 << 30
 MB = 1 << 20
@@ -78,6 +79,31 @@ def run_until_done(sim, procs, max_time: float = 1e7) -> None:
         if sim.now > max_time:
             raise RuntimeError(f"exceeded {max_time} simulated seconds")
         sim.step()
+
+
+# ------------------------------------------------------------ RPC metrics
+def metrics_rows(registry: MetricsRegistry,
+                 scope: Optional[str] = None) -> List[Sequence]:
+    """Per-service counter rows from a deployment's registry, ready for
+    :func:`format_table`: (scope, service, calls, ok, timeouts, retries,
+    oneways, mean latency in ms)."""
+    return [
+        [sc, service, st.calls, st.ok, st.timeouts, st.retries, st.oneways,
+         st.latency_mean * 1e3]
+        for (sc, service), st in registry.items(scope)
+    ]
+
+
+def metrics_report(registry: MetricsRegistry,
+                   scope: Optional[str] = None,
+                   title: str = "RPC metrics by service") -> str:
+    """A text table of a run's per-service RPC counters."""
+    return format_table(
+        title,
+        ["scope", "service", "calls", "ok", "tmo", "retry", "1way",
+         "mean_ms"],
+        metrics_rows(registry, scope),
+    )
 
 
 # ----------------------------------------------------------------- report

@@ -53,9 +53,15 @@ class Endpoint:
         return self.host.hostid
 
     # -- service registration -------------------------------------------
-    def register(self, service: str, handler: Handler) -> None:
-        """Install an RPC/oneway handler under a service name."""
-        if service in self.handlers:
+    def register(self, service: str, handler: Handler,
+                 replace: bool = False) -> None:
+        """Install an RPC/oneway handler under a service name.
+
+        ``replace=True`` makes re-registration idempotent (a daemon
+        restarting on a surviving node); the default keeps accidental
+        collisions loud.
+        """
+        if not replace and service in self.handlers:
             raise ValueError(f"service {service!r} already registered")
         self.handlers[service] = handler
 

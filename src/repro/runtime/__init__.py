@@ -1,0 +1,41 @@
+"""The instrumented service-runtime layer.
+
+Sits between the network transport and the protocol daemons: every
+component issues RPCs and registers handlers through a per-node
+:class:`ServiceRuntime` instead of the raw endpoint, gaining a uniform
+timeout/retry policy (:class:`CallPolicy`, carrying the paper's
+Figure-13 5 s deadline), per-service metrics (:class:`MetricsRegistry`),
+and trace spans over virtual time (:class:`Tracer`).
+
+See ``docs/runtime.md`` for the architecture walkthrough.
+"""
+
+from repro.runtime.metrics import CLIENT, SERVER, MetricsRegistry, OpStats
+from repro.runtime.middleware import (
+    CallContext,
+    MetricsMiddleware,
+    RetryMiddleware,
+    TracingMiddleware,
+    compose,
+)
+from repro.runtime.policy import DEFAULT_POLICY, RPC_DEADLINE, CallPolicy
+from repro.runtime.service import ServiceRuntime
+from repro.runtime.trace import Span, Tracer
+
+__all__ = [
+    "CLIENT",
+    "SERVER",
+    "CallContext",
+    "CallPolicy",
+    "DEFAULT_POLICY",
+    "MetricsMiddleware",
+    "MetricsRegistry",
+    "OpStats",
+    "RPC_DEADLINE",
+    "RetryMiddleware",
+    "ServiceRuntime",
+    "Span",
+    "Tracer",
+    "TracingMiddleware",
+    "compose",
+]

@@ -1,0 +1,133 @@
+"""The composable middleware stack around every RPC.
+
+A middleware is ``mw(ctx, nxt)`` — a generator function that may do work
+before and after delegating to ``nxt(ctx)`` (the rest of the stack).
+:func:`compose` folds a list of middlewares over a terminal (the actual
+transport exchange) into a single ``invoke(ctx)`` generator.
+
+The stock stack, outermost first:
+
+1. :class:`MetricsMiddleware` — one OpStats observation per invocation,
+   covering all retry attempts (so latency is what the caller felt);
+2. :class:`TracingMiddleware` — one span per invocation;
+3. :class:`RetryMiddleware` — per-attempt timeout handling and backoff
+   per the context's :class:`~repro.runtime.policy.CallPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.runtime.metrics import CLIENT, MetricsRegistry
+from repro.runtime.policy import CallPolicy
+from repro.runtime.trace import Tracer
+
+Invoker = Callable[["CallContext"], Generator]
+Middleware = Callable[["CallContext", Invoker], Generator]
+
+
+@dataclass
+class CallContext:
+    """Everything a middleware may read or annotate about one RPC."""
+
+    sim: Any
+    dst: str
+    service: str
+    payload: Any = None
+    size: int = 0
+    rtts: int = 1
+    policy: CallPolicy = field(default_factory=CallPolicy)
+    timeout: Optional[float] = None   # per-attempt deadline override
+    attempt: int = 0                  # 1-based, set by the retry layer
+    retries: int = 0                  # attempts beyond the first
+
+    @property
+    def attempt_timeout(self) -> float:
+        return self.timeout if self.timeout is not None else self.policy.timeout
+
+
+def compose(middlewares: List[Middleware], terminal: Invoker) -> Invoker:
+    """Fold middlewares (outermost first) over the terminal invoker."""
+    invoke = terminal
+    for mw in reversed(middlewares):
+        invoke = _bind(mw, invoke)
+    return invoke
+
+
+def _bind(mw: Middleware, nxt: Invoker) -> Invoker:
+    def invoke(ctx: CallContext):
+        result = yield from mw(ctx, nxt)
+        return result
+
+    return invoke
+
+
+class RetryMiddleware:
+    """Re-issue timed-out attempts per the context's policy.
+
+    Only :class:`RpcTimeout` is retried: a remote error is a handler
+    answering "no", and repeating the question does not change it.
+    """
+
+    def __call__(self, ctx: CallContext, nxt: Invoker):
+        policy = ctx.policy
+        while True:
+            ctx.attempt += 1
+            try:
+                result = yield from nxt(ctx)
+                return result
+            except RpcTimeout:
+                if ctx.attempt >= policy.attempts:
+                    raise
+                ctx.retries += 1
+                delay = policy.delay_before_retry(ctx.attempt)
+                if delay > 0:
+                    yield ctx.sim.timeout(delay)
+
+
+class TracingMiddleware:
+    """One span per invocation (covering every retry attempt)."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    def __call__(self, ctx: CallContext, nxt: Invoker):
+        span = self.tracer.start(f"rpc:{ctx.service}", dst=ctx.dst)
+        try:
+            result = yield from nxt(ctx)
+        except Exception as exc:
+            span.attrs["retries"] = ctx.retries
+            self.tracer.finish(span, status=type(exc).__name__)
+            raise
+        span.attrs["retries"] = ctx.retries
+        self.tracer.finish(span)
+        return result
+
+
+class MetricsMiddleware:
+    """One OpStats observation per invocation."""
+
+    def __init__(self, registry: MetricsRegistry, scope: str = CLIENT):
+        self.registry = registry
+        self.scope = scope
+
+    def __call__(self, ctx: CallContext, nxt: Invoker):
+        t0 = ctx.sim.now
+        try:
+            result = yield from nxt(ctx)
+        except RpcTimeout:
+            self.registry.stats(self.scope, ctx.service).observe(
+                ctx.sim.now - t0, ok=False, timeout=True,
+                retries=ctx.retries, bytes_out=ctx.size)
+            raise
+        except RpcRemoteError:
+            self.registry.stats(self.scope, ctx.service).observe(
+                ctx.sim.now - t0, ok=False,
+                retries=ctx.retries, bytes_out=ctx.size)
+            raise
+        self.registry.stats(self.scope, ctx.service).observe(
+            ctx.sim.now - t0, ok=True,
+            retries=ctx.retries, bytes_out=ctx.size)
+        return result

@@ -27,6 +27,11 @@ class Simulator:
         self._heap: list = []
         self._seq: int = 0
         self._nprocessed: int = 0
+        #: The process whose generator is currently executing (None
+        #: between resumptions).  Consumers like the tracer use it to
+        #: attribute work to a logical task without threading a context
+        #: argument through every generator.
+        self.active_process: Optional["Process"] = None
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
@@ -156,6 +161,14 @@ class Process(Event):
     # -- internal ---------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
+        prev = self.sim.active_process
+        self.sim.active_process = self
+        try:
+            self._step(trigger)
+        finally:
+            self.sim.active_process = prev
+
+    def _step(self, trigger: Event) -> None:
         while True:
             try:
                 if self._interrupts:

@@ -164,6 +164,28 @@ class ClusterInspector:
             report.unevenness_ratio = (max(utils) / lo) if lo > 0 else float("inf")
         return report
 
+    # --------------------------------------------------------------- RPC
+    def runtime_report(self, scope: Optional[str] = None) -> str:
+        """Per-service RPC counters from the deployment's runtime layer.
+
+        Empty string when the deployment predates the metrics registry
+        (or was built without one).
+        """
+        registry = getattr(self.dep, "metrics", None)
+        if registry is None:
+            return ""
+        return registry.report(scope)
+
+    def busiest_services(self, scope: str = "client",
+                         top: int = 5) -> List[Tuple[str, int]]:
+        """The most-called services under a scope: (service, calls+oneways)."""
+        registry = getattr(self.dep, "metrics", None)
+        if registry is None:
+            return []
+        totals = [(service, st.calls + st.oneways)
+                  for (_sc, service), st in registry.items(scope)]
+        return sorted(totals, key=lambda kv: (-kv[1], kv[0]))[:top]
+
     # --------------------------------------------------------------- text
     def summary(self) -> str:
         rep = self.replica_report()
@@ -179,4 +201,8 @@ class ClusterInspector:
             f"storage balance: mean {100 * bal.mean_utilization:.1f}%, "
             f"unevenness {bal.unevenness_ratio:.2f}",
         ]
+        busiest = self.busiest_services()
+        if busiest:
+            lines.append("busiest services: " + ", ".join(
+                f"{svc} ({n})" for svc, n in busiest))
         return "\n".join(lines)

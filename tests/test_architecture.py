@@ -63,6 +63,12 @@ def test_layering_matches_figure2():
         "repro.core.locality": 2, "repro.core.namespace": 2,
         "repro.core.provider": 3,
         "repro.core.client": 4,
+        "repro.core.client.handle": 4,
+        "repro.core.client.namespace_ops": 4,
+        "repro.core.client.placement": 4,
+        "repro.core.client.io": 4,
+        "repro.core.client.versioning": 4,
+        "repro.core.client.stub": 4,
         "repro.core.volume": 5,
     }
     for src, dst in g.edges:
@@ -79,3 +85,30 @@ def test_baselines_do_not_depend_on_sorrento_core():
     for src, dst in g.edges:
         if package_of(src) == "baselines":
             assert package_of(dst) != "core", (src, dst)
+
+
+def test_only_the_runtime_layer_touches_the_raw_endpoint():
+    """Every RPC goes through ServiceRuntime: outside ``repro/runtime/``
+    (and the transport package itself), nothing may invoke
+    ``<...>.endpoint.call/send/multicast/register`` directly."""
+    rpc_methods = {"call", "send", "multicast", "register", "unregister"}
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        pkg = path.relative_to(SRC).parts[0]
+        if pkg in ("runtime", "network"):
+            continue
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in rpc_methods):
+                continue
+            target = node.func.value  # the object the method is called on
+            if (isinstance(target, ast.Name) and target.id == "endpoint") \
+                    or (isinstance(target, ast.Attribute)
+                        and target.attr == "endpoint"):
+                offenders.append(f"{mod}:{node.lineno}")
+    assert offenders == [], (
+        "raw Endpoint RPC calls outside repro/runtime/: " + ", ".join(offenders)
+    )

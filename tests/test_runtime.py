@@ -1,0 +1,373 @@
+"""Tests for the instrumented service-runtime layer.
+
+Covers the satellite checklist: middleware ordering, retry-with-backoff
+under injected timeouts, metric counter correctness, trace parent/child
+nesting in virtual time, idempotent handler registration, and the
+end-to-end assertion that a real experiment driver's read/write/open
+paths show up in the deployment registry.
+"""
+
+import pytest
+
+from repro.network import Endpoint, Fabric, RpcRemoteError, RpcTimeout
+from repro.network.switch import Host
+from repro.runtime import (
+    CLIENT,
+    SERVER,
+    CallContext,
+    CallPolicy,
+    MetricsRegistry,
+    ServiceRuntime,
+    Tracer,
+    compose,
+)
+from repro.sim import Simulator
+
+
+def make_runtimes(n=3, rate=12.5e6, latency=80e-6):
+    sim = Simulator()
+    fabric = Fabric(sim, latency=latency)
+    rts = {}
+    for i in range(n):
+        host = Host(sim, f"n{i}", rate=rate)
+        fabric.attach(host)
+        rts[f"n{i}"] = ServiceRuntime(Endpoint(sim, fabric, host))
+    return sim, fabric, rts
+
+
+# ------------------------------------------------------------ composition
+def test_compose_runs_middlewares_outermost_first():
+    sim = Simulator()
+    events = []
+
+    def recorder(tag):
+        def mw(ctx, nxt):
+            events.append(f"{tag}:pre")
+            result = yield from nxt(ctx)
+            events.append(f"{tag}:post")
+            return result
+        return mw
+
+    def terminal(ctx):
+        events.append("terminal")
+        return 42
+        yield  # pragma: no cover - makes this a generator
+
+    invoke = compose([recorder("outer"), recorder("inner")], terminal)
+    ctx = CallContext(sim=sim, dst="n1", service="x")
+
+    def drive():
+        result = yield from invoke(ctx)
+        return result
+
+    assert sim.run_process(sim.process(drive())) == 42
+    assert events == ["outer:pre", "inner:pre", "terminal",
+                      "inner:post", "outer:post"]
+
+
+def test_stock_stack_order_metrics_outside_retry():
+    """Metrics wrap all attempts: one observation, full felt latency."""
+    sim, fabric, rts = make_runtimes()
+    fabric.hosts["n1"].alive = False
+    registry = MetricsRegistry()
+    rts["n0"].configure(registry=registry,
+                        policy=CallPolicy(timeout=0.5, attempts=2))
+
+    def client():
+        with pytest.raises(RpcTimeout):
+            yield from rts["n0"].call("n1", "echo", "x")
+        return sim.now
+
+    t = sim.run_process(sim.process(client()))
+    st = registry.stats(CLIENT, "echo")
+    # Were metrics inside retry, we'd see 2 calls of 0.5 s each.
+    assert st.calls == 1
+    assert st.retries == 1
+    assert st.latency_total == pytest.approx(t)
+
+
+# ------------------------------------------------------------------ retry
+def test_retry_with_backoff_timing_and_counters():
+    sim, fabric, rts = make_runtimes()
+    fabric.hosts["n1"].alive = False
+    registry = MetricsRegistry()
+    rts["n0"].configure(registry=registry)
+    policy = CallPolicy(timeout=0.5, attempts=3, backoff=0.25,
+                        backoff_factor=2.0)
+
+    def client():
+        with pytest.raises(RpcTimeout):
+            yield from rts["n0"].call("n1", "echo", "x", policy=policy)
+        return sim.now
+
+    # 0.5 + 0.25 + 0.5 + 0.5 + 0.5 = three attempts, two backoffs.
+    t = sim.run_process(sim.process(client()))
+    assert t == pytest.approx(2.25)
+    st = registry.stats(CLIENT, "echo")
+    assert (st.calls, st.timeouts, st.retries, st.ok) == (1, 1, 2, 0)
+
+
+def test_retry_succeeds_after_transient_timeouts():
+    sim, fabric, rts = make_runtimes()
+    attempts = []
+    rts["n1"].register("flaky", lambda payload, src: attempts.append(src))
+
+    # Drop the first two attempts by keeping the server down, then revive
+    # it mid-retry: the third attempt lands.
+    fabric.hosts["n1"].alive = False
+
+    def reviver():
+        yield sim.timeout(1.6)
+        fabric.hosts["n1"].alive = True
+
+    registry = MetricsRegistry()
+    rts["n0"].configure(registry=registry)
+    policy = CallPolicy(timeout=0.5, attempts=4, backoff=0.25)
+
+    def client():
+        yield from rts["n0"].call("n1", "flaky", "x", policy=policy)
+        return sim.now
+
+    sim.process(reviver())
+    t = sim.run_process(sim.process(client()))
+    assert attempts  # the handler eventually ran
+    st = registry.stats(CLIENT, "flaky")
+    assert st.ok == 1 and st.calls == 1
+    assert st.retries >= 2
+    assert t > 1.6
+
+
+def test_remote_errors_are_not_retried():
+    sim, fabric, rts = make_runtimes()
+    calls = []
+
+    def bad(payload, src):
+        calls.append(src)
+        raise ValueError("no")
+
+    rts["n1"].register("bad", bad)
+    registry = MetricsRegistry()
+    rts["n0"].configure(registry=registry)
+
+    def client():
+        with pytest.raises(RpcRemoteError):
+            yield from rts["n0"].call(
+                "n1", "bad", policy=CallPolicy(timeout=1.0, attempts=5))
+
+    sim.run_process(sim.process(client()))
+    assert len(calls) == 1
+    st = registry.stats(CLIENT, "bad")
+    assert (st.calls, st.errors, st.retries) == (1, 1, 0)
+
+
+# ---------------------------------------------------------------- metrics
+def test_metric_counters_for_roundtrip_and_oneway():
+    sim, fabric, rts = make_runtimes()
+    registry = MetricsRegistry()
+    for rt in rts.values():
+        rt.configure(registry=registry)
+    rts["n1"].register("echo", lambda payload, src: (payload.upper(), 64))
+
+    def client():
+        for _ in range(3):
+            resp = yield from rts["n0"].call("n1", "echo", "hi", size=16)
+            assert resp == "HI"
+        rts["n0"].send("n1", "echo", "fire", size=8)
+        yield sim.timeout(0.1)
+
+    sim.run_process(sim.process(client()))
+    cl = registry.stats(CLIENT, "echo")
+    assert (cl.calls, cl.ok, cl.timeouts, cl.errors) == (3, 3, 0, 0)
+    assert cl.oneways == 1
+    assert cl.bytes_out == 3 * 16 + 8
+    assert cl.latency_min > 0
+    assert cl.latency_total == pytest.approx(
+        cl.latency_mean * cl.calls)
+    # Server scope: 3 RPCs + 1 one-way handler execution, 64 B responses.
+    sv = registry.stats(SERVER, "echo")
+    assert sv.calls == 4 and sv.ok == 4
+    assert sv.bytes_in == 4 * 64
+
+
+def test_server_scope_counts_handler_errors():
+    sim, fabric, rts = make_runtimes()
+    registry = MetricsRegistry()
+    rts["n1"].configure(registry=registry)
+
+    def bad(payload, src):
+        raise RuntimeError("boom")
+
+    rts["n1"].register("bad", bad)
+
+    def client():
+        with pytest.raises(RpcRemoteError):
+            yield from rts["n0"].call("n1", "bad")
+
+    sim.run_process(sim.process(client()))
+    sv = registry.stats(SERVER, "bad")
+    assert (sv.calls, sv.ok, sv.errors) == (1, 0, 1)
+
+
+def test_registry_report_and_queries():
+    registry = MetricsRegistry()
+    registry.stats(CLIENT, "seg_read").observe(0.01, ok=True, bytes_out=32)
+    registry.stats(CLIENT, "ns_lookup").observe(0.002, ok=True)
+    registry.stats(SERVER, "seg_read").observe(0.005, ok=True, bytes_in=4096)
+    assert registry.services(CLIENT) == ["ns_lookup", "seg_read"]
+    assert registry.total_calls(CLIENT) == 2
+    assert registry.get(CLIENT, "nope") is None
+    report = registry.report(CLIENT)
+    assert "ns_lookup" in report and "seg_read" in report
+    assert "server" not in report
+    registry.clear()
+    assert registry.total_calls(CLIENT) == 0
+
+
+# ---------------------------------------------------------------- tracing
+def test_trace_parent_child_nesting_in_virtual_time():
+    sim, fabric, rts = make_runtimes()
+    tracer = Tracer(sim)
+    rts["n0"].configure(tracer=tracer)
+    rts["n1"].register("echo", lambda payload, src: (payload, 8))
+
+    def client():
+        app = tracer.start("app:open")
+        yield sim.timeout(0.001)
+        yield from rts["n0"].call("n1", "echo", "x", size=16)
+        tracer.finish(app)
+
+    sim.run_process(sim.process(client()))
+    (app,) = tracer.spans("app:open")
+    (rpc,) = tracer.spans("rpc:echo")
+    assert rpc.parent is app
+    assert app.parent is None
+    assert rpc.depth == 1
+    # The child's interval nests within the parent's, in virtual time.
+    assert app.start <= rpc.start <= rpc.end <= app.end
+    assert rpc.start >= 0.001
+    assert rpc.status == "ok"
+    assert rpc.attrs["dst"] == "n1"
+
+
+def test_trace_server_side_span_is_a_root():
+    """Handlers run in their own sim process: no implicit cross-host link."""
+    sim, fabric, rts = make_runtimes()
+    tracer = Tracer(sim)
+    rts["n0"].configure(tracer=tracer)
+    rts["n1"].configure(tracer=tracer)
+
+    def handler(payload, src):
+        span = tracer.start("server:work")
+        yield sim.timeout(0.002)
+        tracer.finish(span)
+        return "done", 8
+
+    rts["n1"].register("work", handler)
+
+    def client():
+        app = tracer.start("app")
+        yield from rts["n0"].call("n1", "work", "x")
+        tracer.finish(app)
+
+    sim.run_process(sim.process(client()))
+    (server,) = tracer.spans("server:work")
+    assert server.parent is None
+    (rpc,) = tracer.spans("rpc:work")
+    assert rpc.parent is tracer.spans("app")[0]
+
+
+def test_trace_failed_call_records_error_status():
+    sim, fabric, rts = make_runtimes()
+    fabric.hosts["n1"].alive = False
+    tracer = Tracer(sim)
+    rts["n0"].configure(
+        tracer=tracer, policy=CallPolicy(timeout=0.5, attempts=2))
+
+    def client():
+        with pytest.raises(RpcTimeout):
+            yield from rts["n0"].call("n1", "echo")
+
+    sim.run_process(sim.process(client()))
+    (span,) = tracer.spans("rpc:echo")
+    assert span.status == "RpcTimeout"
+    assert span.attrs["retries"] == 1
+    assert span.duration == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------- registration
+def test_register_duplicate_is_loud_unless_replaced():
+    sim, fabric, rts = make_runtimes()
+    seen = []
+    rts["n1"].register("svc", lambda payload, src: ("old", 8))
+    with pytest.raises(ValueError, match="already registered"):
+        rts["n1"].register("svc", lambda payload, src: ("new", 8))
+
+    def new_handler(payload, src):
+        seen.append(payload)
+        return "new", 8
+
+    rts["n1"].register("svc", new_handler, replace=True)
+
+    def client():
+        resp = yield from rts["n0"].call("n1", "svc", "x")
+        return resp
+
+    assert sim.run_process(sim.process(client())) == "new"
+    assert seen == ["x"]
+
+
+def test_configure_after_register_still_records_server_stats():
+    """Deployments attach the registry after daemons registered."""
+    sim, fabric, rts = make_runtimes()
+    rts["n1"].register("late", lambda payload, src: ("ok", 4))
+    registry = MetricsRegistry()
+    rts["n1"].configure(registry=registry)  # after register()
+
+    def client():
+        yield from rts["n0"].call("n1", "late")
+
+    sim.run_process(sim.process(client()))
+    assert registry.stats(SERVER, "late").calls == 1
+
+
+# ------------------------------------------------------------ end to end
+def test_experiment_driver_exposes_open_read_write_metrics():
+    """The ISSUE acceptance check: runtime metrics for the open/read/write
+    paths are queryable from an experiment driver's deployment."""
+    from repro.experiments.fig09_small_response import (
+        run_sorrento_instrumented,
+    )
+
+    results, dep = run_sorrento_instrumented(n_ops=5)
+    assert set(results) == {"create", "write", "read", "unlink"}
+
+    reg = dep.metrics
+    # Open path: namespace lookups; write path: shadow creation + the
+    # commit cycle (12 KB writes ride the attach path, so no seg_write);
+    # read path: segment reads.  Client- and server-side views agree.
+    for svc in ("ns_lookup", "seg_create_shadow", "seg_prepare",
+                "seg_commit", "seg_read", "ns_begin_commit"):
+        st = reg.get(CLIENT, svc)
+        assert st is not None and st.ok > 0, svc
+        sv = reg.get(SERVER, svc)
+        assert sv is not None and sv.calls >= st.ok, svc
+    assert reg.stats(CLIENT, "seg_read").bytes_out > 0
+    assert reg.stats(SERVER, "seg_read").bytes_in > 0
+    # Heartbeats flow as one-ways through the same layer.
+    assert reg.stats(CLIENT, "heartbeat").oneways > 0
+    report = dep.rpc_report("client")
+    assert "ns_lookup" in report and "seg_commit" in report
+
+
+def test_inspector_surfaces_runtime_metrics():
+    from repro.experiments.fig09_small_response import (
+        run_sorrento_instrumented,
+    )
+    from repro.tools.inspector import ClusterInspector
+
+    _results, dep = run_sorrento_instrumented(n_ops=3)
+    insp = ClusterInspector(dep)
+    busiest = insp.busiest_services()
+    assert busiest and all(n > 0 for _, n in busiest)
+    assert "service" in insp.runtime_report()
+    assert "busiest services:" in insp.summary()
