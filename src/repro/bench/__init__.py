@@ -1,0 +1,27 @@
+"""Performance benchmarks for the DES kernel and the experiment stack.
+
+Two suites, both runnable via ``python -m repro.bench``:
+
+* **kernel** — microbenchmarks of the simulation substrate itself
+  (ping-pong RPC storm, timer churn, gather fan-out), reported as
+  events/second and wall time;
+* **macro** — a reduced Figure-10 run (the small-file session-throughput
+  experiment), reported as wall time per simulated second.
+
+Results are appended to ``BENCH_kernel.json`` / ``BENCH_macro.json`` as a
+trajectory: each invocation adds one labelled entry, and a ``headline``
+block compares the latest entry against the first (the recorded
+baseline).  See ``docs/performance.md`` for how to read the numbers.
+"""
+
+from repro.bench.harness import append_entry, bench_entry, drive_procs
+from repro.bench.kernel_bench import run_kernel_suite
+from repro.bench.macro_bench import run_macro_suite
+
+__all__ = [
+    "append_entry",
+    "bench_entry",
+    "drive_procs",
+    "run_kernel_suite",
+    "run_macro_suite",
+]

@@ -1,0 +1,59 @@
+"""CLI: run the benchmark suites and append to the BENCH_*.json trajectory.
+
+Usage::
+
+    python -m repro.bench [--smoke] [--label LABEL] [--out-dir DIR]
+                          [--only kernel|macro] [--repeat N]
+
+Each run appends one labelled entry per suite; once a file holds two or
+more comparable entries, a ``headline`` block reports the latest entry's
+speedup over the first (the recorded baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import append_entry, bench_entry
+from repro.bench.kernel_bench import run_kernel_suite
+from repro.bench.macro_bench import run_macro_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench",
+                                     description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes; verifies the scripts run (CI)")
+    parser.add_argument("--label", default="run",
+                        help="label recorded with this entry")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory holding BENCH_*.json")
+    parser.add_argument("--only", choices=("kernel", "macro"), default=None)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per benchmark (best wall kept)")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.only in (None, "kernel"):
+        results = run_kernel_suite(smoke=args.smoke, repeat=args.repeat)
+        doc = append_entry(out / "BENCH_kernel.json",
+                           bench_entry(args.label, results, args.smoke),
+                           benchmark="kernel")
+        if "headline" in doc:
+            print(json.dumps(doc["headline"], indent=2), file=sys.stderr)
+    if args.only in (None, "macro"):
+        results = run_macro_suite(smoke=args.smoke, repeat=args.repeat)
+        doc = append_entry(out / "BENCH_macro.json",
+                           bench_entry(args.label, results, args.smoke),
+                           benchmark="macro")
+        if "headline" in doc:
+            print(json.dumps(doc["headline"], indent=2), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Kernel microbenchmarks: the DES substrate under RPC-shaped load.
+
+Three probes, each isolating one tax the hot path pays per event:
+
+* ``rpc_storm`` — back-to-back small RPCs over the fabric (the shape of
+  every namespace/location operation in the experiments).  Sensitive to
+  per-RPC allocation (events, deadline timers, messages) and to dead
+  deadline events left on the heap.
+* ``timer_churn`` — the same storm with a long per-RPC deadline, so on a
+  kernel without timer cancellation the heap accumulates one dead entry
+  per completed RPC for the whole run.  Sensitive to heap depth.
+* ``gather_fanout`` — repeated ``gather`` over many short-lived
+  processes (the shape of striped reads/writes).  Sensitive to process
+  bootstrap cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.bench.harness import drive_procs, stats
+from repro.network import Endpoint, Fabric
+from repro.network.switch import Host
+from repro.sim import Simulator, gather
+
+
+def _make_net(n_hosts: int):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    eps = []
+    for i in range(n_hosts):
+        host = Host(sim, f"h{i}")
+        fabric.attach(host)
+        eps.append(Endpoint(sim, fabric, host))
+    return sim, eps
+
+
+def rpc_storm(n_pairs: int = 8, n_rpcs: int = 1500,
+              timeout: float = 5.0) -> Dict:
+    """``n_pairs`` clients each issue ``n_rpcs`` sequential echo RPCs."""
+    sim, eps = _make_net(2 * n_pairs)
+    for i in range(n_pairs):
+        eps[2 * i + 1].register("echo", lambda p, s: (p, 64))
+
+    def client(ep, dst):
+        for i in range(n_rpcs):
+            yield from ep.call(dst, "echo", i, size=64, timeout=timeout)
+
+    procs = [sim.process(client(eps[2 * i], f"h{2 * i + 1}"), name="storm")
+             for i in range(n_pairs)]
+    t0 = time.perf_counter()
+    peak = drive_procs(sim, procs)
+    wall = time.perf_counter() - t0
+    return stats(sim, wall, n_pairs * n_rpcs, peak)
+
+
+def timer_churn(n_clients: int = 4, n_rpcs: int = 1500,
+                timeout: float = 120.0) -> Dict:
+    """RPC storm with deadlines far beyond the run: every completed RPC
+    leaves (on a cancellation-free kernel) a dead timer on the heap."""
+    return rpc_storm(n_pairs=n_clients, n_rpcs=n_rpcs, timeout=timeout)
+
+
+def gather_fanout(rounds: int = 80, fan: int = 64) -> Dict:
+    """One root process repeatedly gathers ``fan`` short-lived workers."""
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(0.001)
+        return 1
+
+    def root():
+        total = 0
+        for _ in range(rounds):
+            results = yield from gather(sim, [worker() for _ in range(fan)])
+            total += sum(results)
+        return total
+
+    p = sim.process(root(), name="fanout-root")
+    t0 = time.perf_counter()
+    peak = drive_procs(sim, [p])
+    wall = time.perf_counter() - t0
+    assert p.value == rounds * fan
+    return stats(sim, wall, rounds * fan, peak)
+
+
+def run_kernel_suite(smoke: bool = False, repeat: int = 1,
+                     verbose: bool = True) -> Dict[str, Dict]:
+    from repro.bench.harness import run_suite
+
+    if smoke:
+        benches = {
+            "rpc_storm": lambda: rpc_storm(n_pairs=2, n_rpcs=60),
+            "timer_churn": lambda: timer_churn(n_clients=2, n_rpcs=60),
+            "gather_fanout": lambda: gather_fanout(rounds=4, fan=8),
+        }
+    else:
+        benches = {
+            "rpc_storm": lambda: rpc_storm(),
+            "timer_churn": lambda: timer_churn(),
+            "gather_fanout": lambda: gather_fanout(),
+        }
+    return run_suite(benches, repeat=repeat, verbose=verbose)

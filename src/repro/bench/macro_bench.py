@@ -1,0 +1,59 @@
+"""Macro benchmark: a reduced Figure-10 run, wall-clock timed.
+
+Figure 10 (small-file session throughput) is the experiment whose shape
+dominates every other figure: many clients looping create/write/close
+sessions against a Sorrento deployment, each session a burst of
+namespace + location + provider RPCs.  The macro benchmark runs it at
+reduced scale and reports wall time, events/second, and the peak event
+backlog, so kernel changes are judged on the workload that actually
+bottlenecks the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.bench.harness import drive_procs, stats
+from repro.experiments.common import cluster_a_like, sorrento_on
+from repro.workloads.smallfile import session_loop
+
+
+def reduced_fig10(n_clients: int = 6, duration: float = 8.0,
+                  n_storage: int = 8, seed: int = 0) -> Dict:
+    """Sessions/second for ``n_clients`` Figure-10 clients, wall-timed."""
+    dep = sorrento_on(cluster_a_like(n_storage=n_storage, n_clients=n_clients),
+                      n_providers=n_storage, degree=2, seed=seed)
+    clients = dep.clients_on_compute(n_clients)
+    try:
+        dep.run(clients[0].mkdir("/tput"))
+    except Exception:
+        pass
+    counter = [0]
+    base_events = dep.sim._nprocessed
+    procs = [
+        dep.sim.process(session_loop(c, f"c{i}", counter, duration))
+        for i, c in enumerate(clients)
+    ]
+    t0 = time.perf_counter()
+    peak = drive_procs(dep.sim, procs)
+    wall = time.perf_counter() - t0
+    # Report only the measured window's events, not deployment warm-up.
+    dep.sim._nprocessed -= base_events
+    row = stats(dep.sim, wall, counter[0], peak)
+    dep.sim._nprocessed += base_events
+    row["sessions"] = counter[0]
+    row["sessions_per_sim_s"] = round(counter[0] / duration, 1)
+    return row
+
+
+def run_macro_suite(smoke: bool = False, repeat: int = 1,
+                    verbose: bool = True) -> Dict[str, Dict]:
+    from repro.bench.harness import run_suite
+
+    if smoke:
+        benches = {"fig10_reduced": lambda: reduced_fig10(
+            n_clients=2, duration=1.5, n_storage=4)}
+    else:
+        benches = {"fig10_reduced": lambda: reduced_fig10()}
+    return run_suite(benches, repeat=repeat, verbose=verbose)

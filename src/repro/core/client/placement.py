@@ -14,7 +14,6 @@ from repro.core.client.handle import FileHandle, SorrentoError
 from repro.core.placement import choose_provider
 from repro.core.provider import LOCATION_GROUP
 from repro.network.message import RpcRemoteError, RpcTimeout
-from repro.sim import AnyOf, Event
 
 _nonces = itertools.count(1)
 
@@ -55,14 +54,13 @@ class PlacementMixin:
         """Backup scheme: ask everybody over multicast."""
         self.stats["probe_fallbacks"] += 1
         nonce = next(_nonces)
-        ev = Event(self.sim, name=f"probe:{segid:x}")
+        ev = self.sim.event()
         self._probe_waiters[nonce] = ev
         self.rpc.multicast(LOCATION_GROUP, "loc_probe",
                            {"segid": segid, "nonce": nonce}, size=48)
-        deadline = self.sim.timeout(self.params.rpc_timeout)
-        yield AnyOf(self.sim, [ev, deadline])
+        won = yield self.sim.wait_any(ev, self.params.rpc_timeout)
         self._probe_waiters.pop(nonce, None)
-        if not ev.triggered or ev._callbacks is not None:
+        if not won:
             raise SorrentoError(f"no owner responded for segment {segid:#x}")
         return ev.value
 

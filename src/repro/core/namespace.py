@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.params import SorrentoParams
 from repro.kvstore import KVStore
-from repro.sim import Event, Store
+from repro.sim import Store
 
 ROOT = "/"
 
@@ -159,7 +159,7 @@ class NamespaceServer:
 
     def _durable(self):
         """Wait until the current WAL batch hits the disk (group commit)."""
-        ev = Event(self.sim, name="wal-flush")
+        ev = self.sim.event("wal-flush")
         self._flush_queue.put(ev)
         yield ev
 

@@ -71,10 +71,23 @@ def run_until_done(sim, procs, max_time: float = 1e7) -> None:
     """Advance the sim until every process finishes.
 
     Unlike ``sim.run(until=horizon)`` this does not grind through hours
-    of heartbeat events after the workload completes.
+    of heartbeat events after the workload completes.  Completion is a
+    callback countdown, so the driver adds O(1) work per event instead
+    of scanning every process per step.
     """
-    while not all(p.triggered for p in procs):
-        if not sim._heap:
+    remaining = len(procs)
+
+    def _one_done(_ev):
+        nonlocal remaining
+        remaining -= 1
+
+    for p in procs:
+        if p.triggered:
+            remaining -= 1
+        else:
+            p.add_callback(_one_done)
+    while remaining > 0:
+        if not sim.pending_events:
             raise RuntimeError("deadlock: processes pending, no events")
         if sim.now > max_time:
             raise RuntimeError(f"exceeded {max_time} simulated seconds")
@@ -86,11 +99,13 @@ def metrics_rows(registry: MetricsRegistry,
                  scope: Optional[str] = None) -> List[Sequence]:
     """Per-service counter rows from a deployment's registry, ready for
     :func:`format_table`: (scope, service, calls, ok, timeouts, retries,
-    oneways, mean latency in ms)."""
+    oneways, mean latency in ms).  Rows are sorted by (scope, service) so
+    reports are stable regardless of registration order."""
     return [
         [sc, service, st.calls, st.ok, st.timeouts, st.retries, st.oneways,
          st.latency_mean * 1e3]
-        for (sc, service), st in registry.items(scope)
+        for (sc, service), st in sorted(registry.items(scope),
+                                        key=lambda kv: kv[0])
     ]
 
 

@@ -2,57 +2,72 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [--quick] [--out report.txt]
+    python -m repro.experiments.run_all [--quick] [--out report.txt] \
+        [--parallel [N]]
 
 ``--quick`` uses smaller scales/durations (minutes instead of tens of
-minutes).  Each section prints the same rows/series the paper reports,
-followed by any shape violations (none expected).
+minutes).  ``--parallel`` runs the sections in N worker processes (default
+one per section) — each section is an independent simulation with its own
+Simulator, so the report is identical to a sequential run, just faster.
+Each section prints the same rows/series the paper reports, followed by
+any shape violations (none expected).
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 import time
 
-from repro.experiments import (
-    fig09_small_response as fig09,
-    fig10_small_throughput as fig10,
-    fig11_bulk as fig11,
-    fig12_apps as fig12,
-    fig13_failure as fig13,
-    fig14_crawler as fig14,
-    fig15_locality as fig15,
-)
+from repro.experiments import fig11_bulk as fig11
 
 
-def run_all(quick: bool = False) -> str:
-    sections = []
+def sections(quick: bool = False):
+    """The report's sections as picklable (title, module, kwargs) specs."""
+    return [
+        ("Figure 9", "fig09_small_response",
+         {"n_ops": 25 if quick else 40}),
+        ("Figure 10", "fig10_small_throughput",
+         {"duration": 12.0 if quick else 25.0}),
+        ("Figure 11", "fig11_bulk",
+         {"scale": 0.0625 if quick else 0.125,
+          "client_counts": (1, 4, 8) if quick else fig11.CLIENT_COUNTS}),
+        ("Figure 12", "fig12_apps", {"scale": 0.01 if quick else 0.02}),
+        ("Figure 13", "fig13_failure", {"scale": 0.08 if quick else 0.1}),
+        ("Figure 14", "fig14_crawler",
+         {"scale": 0.012 if quick else 0.02,
+          "duration": 1200.0 if quick else 2400.0}),
+        ("Figure 15", "fig15_locality", {"scale": 0.02 if quick else 0.03}),
+    ]
 
-    def section(title, fn):
-        t0 = time.time()
-        print(f"[run_all] {title} ...", file=sys.stderr, flush=True)
-        try:
-            text = fn()
-        except Exception as exc:  # noqa: BLE001 - keep the report going
-            text = f"{title}: FAILED - {type(exc).__name__}: {exc}"
-        dt = time.time() - t0
-        sections.append(f"{text}\n[{dt:.0f}s wall]")
 
-    section("Figure 9", lambda: fig09.main(n_ops=25 if quick else 40))
-    section("Figure 10", lambda: fig10.main(duration=12.0 if quick else 25.0))
-    section("Figure 11", lambda: fig11.main(
-        scale=0.0625 if quick else 0.125,
-        client_counts=(1, 4, 8) if quick else fig11.CLIENT_COUNTS))
-    section("Figure 12", lambda: fig12.main(scale=0.01 if quick else 0.02))
-    section("Figure 13", lambda: fig13.main(scale=0.08 if quick else 0.1))
-    section("Figure 14", lambda: fig14.main(
-        scale=0.012 if quick else 0.02,
-        duration=1200.0 if quick else 2400.0))
-    section("Figure 15", lambda: fig15.main(
-        scale=0.02 if quick else 0.03,
-        ))
-    return "\n\n" + ("\n\n" + "=" * 72 + "\n\n").join(sections)
+def _run_section(spec) -> str:
+    """Worker: run one section (top-level so it pickles for --parallel)."""
+    title, modname, kwargs = spec
+    t0 = time.time()
+    print(f"[run_all] {title} ...", file=sys.stderr, flush=True)
+    try:
+        mod = importlib.import_module(f"repro.experiments.{modname}")
+        text = mod.main(**kwargs)
+    except Exception as exc:  # noqa: BLE001 - keep the report going
+        text = f"{title}: FAILED - {type(exc).__name__}: {exc}"
+    dt = time.time() - t0
+    return f"{text}\n[{dt:.0f}s wall]"
+
+
+def run_all(quick: bool = False, parallel: int = 0) -> str:
+    specs = sections(quick)
+    if parallel:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(parallel, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves section order regardless of completion order.
+            results = list(pool.map(_run_section, specs))
+    else:
+        results = [_run_section(s) for s in specs]
+    return "\n\n" + ("\n\n" + "=" * 72 + "\n\n").join(results)
 
 
 def main() -> None:
@@ -61,8 +76,12 @@ def main() -> None:
                         help="smaller scales (faster, same shapes)")
     parser.add_argument("--out", default=None,
                         help="also write the report to this file")
+    parser.add_argument("--parallel", nargs="?", type=int, const=7, default=0,
+                        metavar="N",
+                        help="run sections in N worker processes "
+                             "(default: one per section)")
     args = parser.parse_args()
-    report = run_all(quick=args.quick)
+    report = run_all(quick=args.quick, parallel=args.parallel)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)

@@ -1,9 +1,16 @@
-"""Message and RPC error types."""
+"""Message and RPC error types.
+
+:class:`Message` is the hottest allocation in the simulation (several per
+RPC), so it is a ``__slots__`` class recycled through a free-list: the
+transport acquires via :func:`acquire_message`, and the fabric releases a
+message once its last delivery callback has run.  Handlers never see the
+Message object itself (the endpoint unpacks payload/src/req_id before
+dispatching), which is what makes the release point safe.
+"""
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 #: Destination constant meaning "all hosts subscribed to the group".
@@ -15,7 +22,6 @@ HEADER_BYTES = 66
 _msg_ids = itertools.count(1)
 
 
-@dataclass
 class Message:
     """A unit of network transmission.
 
@@ -24,18 +30,58 @@ class Message:
     object — the simulation never serializes it, only charges for ``size``.
     """
 
-    src: str
-    dst: str
-    kind: str
-    payload: Any = None
-    size: int = 0
-    group: str = ""
-    req_id: int = 0
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("src", "dst", "kind", "payload", "size", "group", "req_id",
+                 "msg_id", "_refs")
+
+    def __init__(self, src: str, dst: str, kind: str, payload: Any = None,
+                 size: int = 0, group: str = "", req_id: int = 0,
+                 msg_id: int = 0):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size = size
+        self.group = group
+        self.req_id = req_id
+        self.msg_id = msg_id or next(_msg_ids)
+        self._refs = 0  # pending deliveries; managed by the fabric
 
     @property
     def wire_size(self) -> int:
         return self.size + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Message #{self.msg_id} {self.kind} {self.src}->{self.dst} "
+                f"{self.size}B>")
+
+
+_pool: list = []
+_POOL_MAX = 1024
+
+
+def acquire_message(src: str, dst: str, kind: str, payload: Any = None,
+                    size: int = 0, group: str = "", req_id: int = 0) -> Message:
+    """A Message from the free-list (or fresh), with a new ``msg_id``."""
+    if _pool:
+        m = _pool.pop()
+        m.src = src
+        m.dst = dst
+        m.kind = kind
+        m.payload = payload
+        m.size = size
+        m.group = group
+        m.req_id = req_id
+        m.msg_id = next(_msg_ids)
+        m._refs = 0
+        return m
+    return Message(src, dst, kind, payload, size, group, req_id)
+
+
+def release_message(m: Message) -> None:
+    """Return a delivered message to the free-list (payload dropped)."""
+    if len(_pool) < _POOL_MAX:
+        m.payload = None
+        _pool.append(m)
 
 
 class RpcTimeout(Exception):

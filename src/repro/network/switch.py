@@ -5,13 +5,19 @@ switches", so the fabric itself is non-blocking; only the per-host access
 links (NICs) and a fixed per-hop propagation/switching latency are
 modelled.  Multicast groups deliver a copy to every subscribed live host
 (charging each receiver's rx link).
+
+Delivery is callback-based: each copy rides a single kernel timeout that
+fires at its arrival instant — no per-delivery process, no bootstrap
+event.  The fabric owns the message envelope after ``send`` and returns
+it to the :mod:`repro.network.message` free-list once the last copy has
+been handed to (or dropped by) its receiver.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set
 
-from repro.network.message import MULTICAST, Message
+from repro.network.message import MULTICAST, Message, release_message
 from repro.network.nic import NIC, FAST_ETHERNET_BPS
 from repro.sim import Simulator
 
@@ -67,35 +73,38 @@ class Fabric:
 
     # -- transmission ----------------------------------------------------
     def send(self, msg: Message) -> None:
-        """Transmit ``msg``; delivery happens asynchronously in sim time."""
+        """Transmit ``msg``; delivery happens asynchronously in sim time.
+
+        The fabric takes ownership of ``msg`` — callers must not touch it
+        after this returns.
+        """
         src = self.hosts.get(msg.src)
         if src is None or not src.alive:
-            return  # a dead host sends nothing
+            release_message(msg)  # a dead host sends nothing
+            return
         self.messages_sent += 1
         if msg.dst == MULTICAST:
-            members = self.groups.get(msg.group, set())
-            targets = [h for h in members if h != msg.src]
+            members = self.groups.get(msg.group)
+            targets = [h for h in members if h != msg.src] if members else ()
         elif msg.dst == msg.src:
             # Loopback: co-located client and daemon skip the NIC entirely
             # ("data transfers do not need to go through network", §3.7.2).
-            self.sim.process(self._loopback(src, msg), name="loopback")
+            self.sim.timeout(LOOPBACK_LATENCY).add_callback(
+                lambda _ev, host=src, m=msg: self._deliver_loopback(host, m))
             return
         else:
-            targets = [msg.dst]
-        self.sim.process(self._transmit(src, targets, msg), name="xmit")
+            targets = (msg.dst,)
+        self._transmit(src, targets, msg)
 
-    def _loopback(self, host: Host, msg: Message):
-        yield self.sim.timeout(LOOPBACK_LATENCY)
-        if host.alive and host.deliver is not None:
-            host.deliver(msg)
-
-    def _transmit(self, src: Host, targets: list, msg: Message):
+    def _transmit(self, src: Host, targets, msg: Message) -> None:
         # Cut-through model: the receiver starts draining as soon as the
         # sender starts transmitting (plus propagation latency), so a
         # large transfer costs ~size/rate once, not twice.  Both the tx
         # and rx links are still reserved for the full byte count.
+        sim = self.sim
+        now = sim.now
         tx_start, tx_done = src.nic.tx.reserve(msg.wire_size)
-        done_events = []
+        copies = 0
         for hostid in targets:
             dst = self.hosts.get(hostid)
             if dst is None or not dst.alive or dst.deliver is None:
@@ -104,14 +113,23 @@ class Fabric:
             _rx_start, rx_done = dst.nic.rx.reserve(
                 msg.wire_size, not_before=tx_start + self.latency)
             arrive = max(tx_done + self.latency, rx_done)
-            ev = self.sim.event("arrive")
-            ev.state = "succeeded"
-            self.sim._schedule(ev, arrive - self.sim.now)
-            done_events.append((ev, dst))
-        for ev, dst in done_events:
-            self.sim.process(self._deliver(ev, dst, msg), name="deliver")
+            sim.timeout(arrive - now).add_callback(
+                lambda _ev, d=dst, m=msg: self._deliver_copy(d, m))
+            copies += 1
+        # Nothing fires before the next sim.step(), so the refcount is
+        # safely published after the loop.
+        msg._refs = copies
+        if copies == 0:
+            release_message(msg)
 
-    def _deliver(self, ev, dst: Host, msg: Message):
-        yield ev
+    def _deliver_copy(self, dst: Host, msg: Message) -> None:
         if dst.alive and dst.deliver is not None:
             dst.deliver(msg)
+        msg._refs -= 1
+        if msg._refs <= 0:
+            release_message(msg)
+
+    def _deliver_loopback(self, host: Host, msg: Message) -> None:
+        if host.alive and host.deliver is not None:
+            host.deliver(msg)
+        release_message(msg)

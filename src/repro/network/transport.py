@@ -7,6 +7,12 @@ RPCs are used from inside sim processes with ``yield from``::
 ``rtts`` charges extra small round-trips before the request proper — this is
 how the paper's observation that "it takes two TCP roundtrips to open a file
 and three to close" is modelled without a full TCP state machine.
+
+Hot-path discipline: messages come from the module free-list (the fabric
+releases them after the last delivery), RPC deadlines are cancellable
+pooled timers behind ``sim.wait_any``, and the request handler never sees
+the Message object — payload, source, and request id are unpacked at
+delivery so the envelope can be recycled immediately.
 """
 
 from __future__ import annotations
@@ -16,12 +22,12 @@ from typing import Any, Callable, Dict, Generator, Tuple, Union
 
 from repro.network.message import (
     MULTICAST,
-    Message,
     RpcRemoteError,
     RpcTimeout,
+    acquire_message,
 )
 from repro.network.switch import Fabric, Host
-from repro.sim import AnyOf, Event, Simulator
+from repro.sim import Simulator
 
 #: Default RPC deadline; failed-node requests surface as timeouts at this
 #: horizon (Figure 13 "requests issued to the failed node are all timed out").
@@ -44,7 +50,8 @@ class Endpoint:
         self.fabric = fabric
         self.host = host
         self.handlers: Dict[str, Handler] = {}
-        self._pending: Dict[int, Event] = {}
+        self._proc_names: Dict[str, str] = {}
+        self._pending: Dict[int, Any] = {}
         host.deliver = self._on_message
 
     @property
@@ -64,10 +71,12 @@ class Endpoint:
         if not replace and service in self.handlers:
             raise ValueError(f"service {service!r} already registered")
         self.handlers[service] = handler
+        self._proc_names[service] = "handle:" + service
 
     def unregister(self, service: str) -> None:
         """Remove a handler (no-op if absent)."""
         self.handlers.pop(service, None)
+        self._proc_names.pop(service, None)
 
     # -- client side -----------------------------------------------------
     def call(
@@ -90,16 +99,16 @@ class Endpoint:
         return resp
 
     def _exchange(self, dst, kind, body, size, timeout, service):
+        sim = self.sim
         req_id = next(_req_ids)
-        ev = Event(self.sim, name=f"rpc:{service}@{dst}")
+        ev = sim.event()
         self._pending[req_id] = ev
         self.fabric.send(
-            Message(src=self.hostid, dst=dst, kind=kind, payload=body,
-                    size=size, req_id=req_id)
+            acquire_message(src=self.hostid, dst=dst, kind=kind, payload=body,
+                            size=size, req_id=req_id)
         )
-        deadline = self.sim.timeout(timeout)
-        yield AnyOf(self.sim, [ev, deadline])
-        if not ev.triggered or ev._callbacks is not None:
+        won = yield sim.wait_any(ev, timeout)
+        if not won:
             self._pending.pop(req_id, None)
             raise RpcTimeout(dst, service, timeout)
         kind_back, value = ev.value
@@ -110,15 +119,15 @@ class Endpoint:
     def send(self, dst: str, service: str, payload: Any = None, size: int = 0) -> None:
         """Fire-and-forget one-way message to ``dst``'s ``service`` handler."""
         self.fabric.send(
-            Message(src=self.hostid, dst=dst, kind="oneway",
-                    payload=(service, payload), size=size)
+            acquire_message(src=self.hostid, dst=dst, kind="oneway",
+                            payload=(service, payload), size=size)
         )
 
     def multicast(self, group: str, service: str, payload: Any = None, size: int = 0) -> None:
         """One-way message to every subscriber of ``group`` (except self)."""
         self.fabric.send(
-            Message(src=self.hostid, dst=MULTICAST, group=group, kind="oneway",
-                    payload=(service, payload), size=size)
+            acquire_message(src=self.hostid, dst=MULTICAST, group=group,
+                            kind="oneway", payload=(service, payload), size=size)
         )
 
     def subscribe(self, group: str) -> None:
@@ -130,48 +139,53 @@ class Endpoint:
         self.fabric.unsubscribe(group, self.hostid)
 
     # -- server side -----------------------------------------------------
-    def _on_message(self, msg: Message) -> None:
+    def _on_message(self, msg) -> None:
+        # Everything needed past this frame is unpacked here; the fabric
+        # recycles ``msg`` as soon as delivery callbacks return.
         if not self.host.alive:
             return
-        if msg.kind == "ping":
-            self._reply(msg, "resp", None, PING_BYTES)
-        elif msg.kind == "req":
+        kind = msg.kind
+        if kind == "resp" or kind == "err":
+            ev = self._pending.pop(msg.req_id, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed((kind, msg.payload))
+        elif kind == "req":
             service, payload = msg.payload
             handler = self.handlers.get(service)
             if handler is None:
-                self._reply(msg, "err", f"no such service {service!r}", 64)
+                self._reply(msg.src, msg.req_id,
+                            "err", f"no such service {service!r}", 64)
                 return
-            self.sim.process(self._run_handler(handler, msg, payload),
-                             name=f"handle:{service}")
-        elif msg.kind in ("resp", "err"):
-            ev = self._pending.pop(msg.req_id, None)
-            if ev is not None and not ev.triggered:
-                ev.succeed((msg.kind, msg.payload))
-        elif msg.kind == "oneway":
+            self.sim.process(
+                self._run_handler(handler, payload, msg.src, msg.req_id),
+                name=self._proc_names[service])
+        elif kind == "oneway":
             service, payload = msg.payload
             handler = self.handlers.get(service)
             if handler is not None:
                 result = handler(payload, msg.src)
                 if isinstance(result, Generator):
-                    self.sim.process(result, name=f"handle:{service}")
+                    self.sim.process(result, name=self._proc_names[service])
+        elif kind == "ping":
+            self._reply(msg.src, msg.req_id, "resp", None, PING_BYTES)
 
-    def _run_handler(self, handler: Handler, msg: Message, payload: Any):
+    def _run_handler(self, handler: Handler, payload: Any, src: str, req_id: int):
         try:
-            result = handler(payload, msg.src)
+            result = handler(payload, src)
             if isinstance(result, Generator):
                 result = yield from _drive(result)
         except Exception as exc:  # noqa: BLE001 - shipped back to the caller
-            self._reply(msg, "err", f"{type(exc).__name__}: {exc}", 64)
+            self._reply(src, req_id, "err", f"{type(exc).__name__}: {exc}", 64)
             return
         resp_payload, resp_size = _split_result(result)
-        self._reply(msg, "resp", resp_payload, resp_size)
+        self._reply(src, req_id, "resp", resp_payload, resp_size)
 
-    def _reply(self, msg: Message, kind: str, payload: Any, size: int) -> None:
+    def _reply(self, dst: str, req_id: int, kind: str, payload: Any, size: int) -> None:
         if not self.host.alive:
             return
         self.fabric.send(
-            Message(src=self.hostid, dst=msg.src, kind=kind, payload=payload,
-                    size=size, req_id=msg.req_id)
+            acquire_message(src=self.hostid, dst=dst, kind=kind,
+                            payload=payload, size=size, req_id=req_id)
         )
 
 

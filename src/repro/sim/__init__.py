@@ -17,6 +17,8 @@ from repro.sim.events import (
     EventFailed,
     Interrupt,
     Timeout,
+    Timer,
+    WaitAny,
 )
 from repro.sim.kernel import Process, Simulator, gather
 from repro.sim.resources import BandwidthPipe, Barrier, Resource, Store
@@ -36,5 +38,7 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "Timer",
+    "WaitAny",
     "gather",
 ]

@@ -1,82 +1,275 @@
-"""The simulation kernel: virtual clock, event heap, and process driver."""
+"""The simulation kernel: virtual clock, event heap, and process driver.
+
+Hot-path layout (this is the substrate every experiment is bottlenecked
+on, so the per-event taxes are explicit):
+
+* zero-delay events bypass ``heapq`` through two FIFOs — one for
+  priority-0 "urgent" events (process bootstrap, interrupts) and one for
+  ordinary same-tick triggers — preserving exactly the ``(time,
+  priority, seq)`` order the heap would have produced;
+* deadlines are :class:`~repro.sim.events.Timer` objects that callers
+  cancel on completion; cancelled entries are tombstones, swept (and the
+  timer recycled through a free-list) when popped, and compacted in bulk
+  when they outnumber the live heap;
+* bootstrap/interrupt kick events are pooled (:class:`_Kick`);
+* :meth:`Simulator.wait_any` waits for first-of-(event, deadline)
+  without the per-call ``AnyOf`` allocation the RPC path used to pay.
+"""
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Generator, Optional
 
 from repro.sim.events import (
+    CANCELLED,
     FAILED,
     PENDING,
+    SUCCEEDED,
+    AllOf,
+    AnyOf,
     Event,
     EventFailed,
     Interrupt,
     Timeout,
+    Timer,
+    WaitAny,
 )
+
+#: Upper bound on the timer/kick free-lists (beyond this, garbage collect).
+_POOL_MAX = 1024
+#: Minimum tombstone count before a bulk heap compaction is considered.
+_COMPACT_MIN = 64
+
+
+class _Kick(Event):
+    """A pooled, valueless, always-succeeded event used to (re)start a
+    process: bootstrap and interrupts.  Recycled right after dispatch —
+    nothing outside the kernel ever holds one."""
+
+    __slots__ = ()
 
 
 class Simulator:
     """Drives events in virtual time.
 
     The heap holds ``(time, priority, seq, event)`` tuples; ``seq`` breaks
-    ties deterministically, so identical runs replay identically.
+    ties deterministically, so identical runs replay identically.  The
+    zero-delay FIFOs hold tuples of the same shape, and every pop takes
+    the lexicographically-smallest tuple across all three containers, so
+    the fast path is order-equivalent to the pure-heap kernel.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
+        self._imm0: deque = deque()  # zero-delay, priority 0 (urgent)
+        self._imm1: deque = deque()  # zero-delay, priority 1
         self._seq: int = 0
         self._nprocessed: int = 0
+        self._nswept: int = 0        # tombstoned timers removed un-dispatched
+        self._ntomb: int = 0         # cancelled entries still in containers
+        self._npending: int = 0
+        self._peak_pending: int = 0
+        self._timer_pool: list = []
+        self._kick_pool: list = []
         #: The process whose generator is currently executing (None
         #: between resumptions).  Consumers like the tracer use it to
         #: attribute work to a logical task without threading a context
         #: argument through every generator.
         self.active_process: Optional["Process"] = None
 
+    # -- introspection --------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Scheduled-but-unpopped events (tombstones included)."""
+        return self._npending
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of :attr:`pending_events` over the run."""
+        return self._peak_pending
+
+    def next_event_time(self) -> Optional[float]:
+        """When the next event fires, or None if the simulation is idle."""
+        t = self._heap[0][0] if self._heap else None
+        if self._imm1 and (t is None or self._imm1[0][0] < t):
+            t = self._imm1[0][0]
+        if self._imm0 and (t is None or self._imm0[0][0] < t):
+            t = self._imm0[0][0]
+        return t
+
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        if delay == 0.0:
+            if priority == 0:
+                self._imm0.append((self.now, 0, self._seq, event))
+            elif priority == 1:
+                self._imm1.append((self.now, 1, self._seq, event))
+            else:
+                heapq.heappush(self._heap, (self.now, priority, self._seq, event))
+        else:
+            heapq.heappush(self._heap,
+                           (self.now + delay, priority, self._seq, event))
+        n = self._npending + 1
+        self._npending = n
+        if n > self._peak_pending:
+            self._peak_pending = n
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing after ``delay`` simulated seconds."""
         return Timeout(self, delay, value)
 
+    def timer(self, delay: float, value: Any = None) -> Timer:
+        """A cancellable deadline, drawn from the kernel's free-list.
+
+        Cancel it (``timer.cancel()``) the moment the thing it guards
+        completes: the heap entry becomes a tombstone and the object is
+        recycled.  Do not keep references to a cancelled timer.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay}")
+        pool = self._timer_pool
+        if pool:
+            t = pool.pop()
+            t.state = SUCCEEDED
+            t.value = value
+            t._callbacks = []
+            t.delay = delay
+        else:
+            t = Timer(self, delay, value)
+        self._schedule(t, delay)
+        return t
+
+    def wait_any(self, event: Event, deadline: float) -> Event:
+        """An event firing when ``event`` triggers or ``deadline`` seconds
+        pass, whichever is first; its value is True if ``event`` won.
+
+        This is the RPC hot path's replacement for
+        ``AnyOf(sim, [ev, sim.timeout(deadline)])``: the deadline is a
+        pooled cancellable timer, so a completed RPC leaves no dead event
+        behind on the heap.
+        """
+        w = WaitAny(self)
+        w._arm(event, self.timer(deadline))
+        return w
+
     def event(self, name: str = "") -> Event:
         """A fresh untriggered event."""
         return Event(self, name)
+
+    def all_of(self, events) -> Event:
+        """An event firing once every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        """An event firing as soon as any event in ``events`` fires.
+
+        For the two-way (event, deadline) case prefer :meth:`wait_any`,
+        which cancels the losing deadline instead of leaving it on the
+        heap.
+        """
+        return AnyOf(self, events)
 
     def process(self, gen: Generator, name: str = "") -> "Process":
         """Run a generator as a process; returns its Process event."""
         return Process(self, gen, name)
 
+    def _kick(self, callback) -> None:
+        """Schedule ``callback`` to run at the current instant with urgent
+        priority, through a pooled kick event."""
+        pool = self._kick_pool
+        if pool:
+            k = pool.pop()
+            k._callbacks = [callback]
+        else:
+            k = _Kick(self)
+            k.state = SUCCEEDED
+            k._callbacks = [callback]
+        self._schedule(k, 0.0, 0)
+
+    def _note_cancelled(self) -> None:
+        """Called by Timer.cancel(); compacts the heap when tombstones
+        outnumber live entries (amortized O(1) per cancellation)."""
+        self._ntomb += 1
+        heap = self._heap
+        if self._ntomb < _COMPACT_MIN or self._ntomb * 2 < len(heap):
+            return
+        pool = self._timer_pool
+        live = []
+        for entry in heap:
+            ev = entry[3]
+            if ev.state is CANCELLED:
+                if type(ev) is Timer and len(pool) < _POOL_MAX:
+                    ev.value = None
+                    pool.append(ev)
+            else:
+                live.append(entry)
+        removed = len(heap) - len(live)
+        heapq.heapify(live)
+        self._heap = live
+        self._npending -= removed
+        self._nswept += removed
+        self._ntomb = 0
+
     # -- execution ------------------------------------------------------
     def step(self) -> None:
-        """Process the next event on the heap."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        """Process the next event (lowest ``(time, priority, seq)``)."""
+        imm0, imm1, heap = self._imm0, self._imm1, self._heap
+        best = imm0[0] if imm0 else None
+        use = 0
+        if imm1 and (best is None or imm1[0] < best):
+            best = imm1[0]
+            use = 1
+        if heap and (best is None or heap[0] < best):
+            use = 2
+        if use == 2:
+            entry = heapq.heappop(heap)
+        elif use == 1:
+            entry = imm1.popleft()
+        else:
+            entry = imm0.popleft()
+        when, _prio, _seq, event = entry
+        self._npending -= 1
         self.now = when
+        if event.state is CANCELLED:
+            # Tombstone sweep: the deadline was voided after scheduling.
+            self._nswept += 1
+            if self._ntomb:
+                self._ntomb -= 1
+            if type(event) is Timer and len(self._timer_pool) < _POOL_MAX:
+                event.value = None
+                self._timer_pool.append(event)
+            return
         self._nprocessed += 1
         event._dispatch()
+        if type(event) is _Kick and len(self._kick_pool) < _POOL_MAX:
+            self._kick_pool.append(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or virtual time passes ``until``."""
+        """Run until no events remain or virtual time passes ``until``."""
         if until is not None:
-            while self._heap and self._heap[0][0] <= until:
+            while True:
+                t = self.next_event_time()
+                if t is None or t > until:
+                    break
                 self.step()
             self.now = max(self.now, until)
         else:
-            while self._heap:
+            while self._npending:
                 self.step()
 
     def run_process(self, proc: "Process", until: Optional[float] = None) -> Any:
         """Run until ``proc`` finishes; return its value (raise on failure)."""
         while not proc.triggered:
-            if not self._heap:
+            if not self._npending:
                 raise RuntimeError(
                     f"deadlock: process {proc.name!r} never finished and no "
                     f"events remain at t={self.now:g}"
                 )
-            if until is not None and self._heap[0][0] > until:
+            if until is not None and self.next_event_time() > until:
                 raise RuntimeError(
                     f"process {proc.name!r} still pending at t={until:g}"
                 )
@@ -93,7 +286,7 @@ def gather(sim: Simulator, gens) -> Generator:
     If any sub-process raises, the exception propagates (after all have
     settled) — callers needing partial results should catch per-generator.
     """
-    procs = [sim.process(g, name=f"gather[{i}]") for i, g in enumerate(gens)]
+    procs = [sim.process(g, name="gather") for g in gens]
     done = Event(sim, name="gather-done")
     remaining = len(procs)
     if remaining == 0:
@@ -125,19 +318,19 @@ class Process(Event):
     (value = return value) or raises.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_interrupts")
+    __slots__ = ("_gen", "_waiting_on", "_interrupts", "_resume_cb")
 
     def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
         self._waiting_on: Optional[Event] = None
-        self._interrupts: list = []
-        # Bootstrap: start the generator at the current sim time via an
-        # immediate event.
-        start = Event(sim, name=f"start:{self.name}")
-        start.state = "succeeded"
-        sim._schedule(start, 0.0, priority=0)
-        start.add_callback(self._resume)
+        self._interrupts: Optional[list] = None  # built lazily; rare
+        # One bound method for the process's lifetime: registering and
+        # tombstoning callbacks then never re-allocates it per yield.
+        self._resume_cb = self._resume
+        # Bootstrap: start the generator at the current sim time via a
+        # pooled immediate kick.
+        sim._kick(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -148,15 +341,14 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at its current yield."""
         if self.triggered:
             return
+        if self._interrupts is None:
+            self._interrupts = []
         self._interrupts.append(Interrupt(cause))
         if self._waiting_on is not None:
             target, self._waiting_on = self._waiting_on, None
-            target.remove_callback(self._resume)
+            target.remove_callback(self._resume_cb)
         # Resume immediately (urgent priority so interrupts preempt).
-        kick = Event(self.sim, name=f"interrupt:{self.name}")
-        kick.state = "succeeded"
-        self.sim._schedule(kick, 0.0, priority=0)
-        kick.add_callback(self._resume)
+        self.sim._kick(self._resume_cb)
 
     # -- internal ---------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
@@ -169,29 +361,30 @@ class Process(Event):
             self.sim.active_process = prev
 
     def _step(self, trigger: Event) -> None:
+        gen = self._gen
         while True:
             try:
                 if self._interrupts:
-                    target = self._gen.throw(self._interrupts.pop(0))
-                elif trigger.state == FAILED:
+                    target = gen.throw(self._interrupts.pop(0))
+                elif trigger.state is FAILED:
                     exc = trigger.value
                     if not isinstance(exc, BaseException):
                         exc = EventFailed(exc)
-                    target = self._gen.throw(exc)
+                    target = gen.throw(exc)
                 else:
-                    target = self._gen.send(trigger.value)
+                    target = gen.send(trigger.value)
             except StopIteration as stop:
-                if self.state == PENDING:
+                if self.state is PENDING:
                     self.succeed(stop.value)
                 return
             except Interrupt:
                 # Uncaught interrupt kills the process silently: this is the
                 # normal fate of daemon loops on a crashed node.
-                if self.state == PENDING:
+                if self.state is PENDING:
                     self.succeed(None)
                 return
             except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-                if self.state == PENDING:
+                if self.state is PENDING:
                     self.fail(exc)
                     return
                 raise
@@ -204,5 +397,5 @@ class Process(Event):
                 trigger = target
                 continue
             self._waiting_on = target
-            target.add_callback(self._resume)
+            target.add_callback(self._resume_cb)
             return

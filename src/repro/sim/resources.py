@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 from repro.sim.kernel import Simulator
 
 
@@ -47,14 +47,14 @@ class Resource:
         # Hand the slot to the next live waiter, if any.
         while self._waiters:
             ev = self._waiters.popleft()
-            if ev.state == "pending":
+            if ev.state is PENDING:
                 ev.succeed()
                 return
         self.in_use -= 1
 
     def cancel(self, ev: Event) -> None:
         """Abandon a pending request (e.g. the requester was interrupted)."""
-        if ev in self._waiters and ev.state == "pending":
+        if ev in self._waiters and ev.state is PENDING:
             self._waiters.remove(ev)
 
     @property
@@ -75,7 +75,7 @@ class Store:
         """Enqueue; wakes a waiting getter if any."""
         while self._getters:
             ev = self._getters.popleft()
-            if ev.state == "pending":
+            if ev.state is PENDING:
                 ev.succeed(item)
                 return
         self._items.append(item)
@@ -170,10 +170,7 @@ class BandwidthPipe:
     def transfer(self, nbytes: float) -> Event:
         """Queue ``nbytes`` and return an event for its completion."""
         _start, done = self.reserve(nbytes)
-        ev = Event(self.sim, name="xfer-done")
-        ev.state = "succeeded"
-        self.sim._schedule(ev, done - self.sim.now)
-        return ev
+        return self.sim.timeout(done - self.sim.now)
 
     def busy_until(self) -> float:
         """When the pipe's queued work drains."""

@@ -77,10 +77,7 @@ class Disk:
         self.busy_accum += service
         self.bytes_done += nbytes
         self.requests += 1
-        ev = Event(self.sim, name="disk-io")
-        ev.state = "succeeded"
-        self.sim._schedule(ev, done - self.sim.now)
-        return ev
+        return self.sim.timeout(done - self.sim.now)
 
     @property
     def backlog_seconds(self) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.sim import AllOf, Event, Simulator
+from repro.sim import Event, Simulator
 from repro.storage.disk import Disk
 
 DEFAULT_STRIPE = 64 * 1024
@@ -55,7 +55,7 @@ class Raid0:
         ]
         if not parts:  # zero-byte op: charge one positioning on one member
             return self.disks[self._next].io(0, sequential)
-        return AllOf(self.sim, parts)
+        return self.sim.all_of(parts)
 
     def service_time(self, nbytes: int, sequential: bool = False) -> float:
         """Unloaded service-time estimate (slowest member's share)."""

@@ -87,6 +87,36 @@ def test_baselines_do_not_depend_on_sorrento_core():
             assert package_of(dst) != "core", (src, dst)
 
 
+def test_kernel_primitives_stay_behind_the_sim_facade():
+    """The event-heap fast path relies on every scheduling decision going
+    through the Simulator facade (``sim.event/timeout/timer/wait_any/
+    all_of/any_of``).  Outside ``repro/sim/``, source must not import
+    ``heapq`` or construct kernel primitives directly."""
+    ctors = {"Event", "Timeout", "Timer", "AllOf", "AnyOf", "WaitAny"}
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        if path.relative_to(SRC).parts[0] == "sim":
+            continue
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        for node in ast.walk(ast.parse(path.read_text())):
+            if isinstance(node, ast.Import):
+                if any(a.name.split(".")[0] == "heapq" for a in node.names):
+                    offenders.append(f"{mod}:{node.lineno} imports heapq")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "heapq":
+                    offenders.append(f"{mod}:{node.lineno} imports heapq")
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                name = fn.id if isinstance(fn, ast.Name) else (
+                    fn.attr if isinstance(fn, ast.Attribute) else None)
+                if name in ctors:
+                    offenders.append(f"{mod}:{node.lineno} constructs {name}")
+    assert offenders == [], (
+        "kernel primitives used outside the sim facade: "
+        + ", ".join(offenders)
+    )
+
+
 def test_only_the_runtime_layer_touches_the_raw_endpoint():
     """Every RPC goes through ServiceRuntime: outside ``repro/runtime/``
     (and the transport package itself), nothing may invoke

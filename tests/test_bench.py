@@ -1,0 +1,56 @@
+"""Smoke tests for the benchmark package: the suites run at tiny sizes
+and the BENCH_*.json trajectory machinery computes headlines."""
+
+import json
+
+from repro.bench import append_entry, bench_entry, run_kernel_suite
+from repro.bench.macro_bench import run_macro_suite
+
+RESULT_KEYS = {"wall_s", "sim_time_s", "events", "events_per_s", "ops",
+               "ops_per_s", "peak_pending", "swept_timers"}
+
+
+def test_kernel_suite_smoke():
+    results = run_kernel_suite(smoke=True, repeat=1, verbose=False)
+    assert set(results) == {"rpc_storm", "timer_churn", "gather_fanout"}
+    for row in results.values():
+        assert RESULT_KEYS <= set(row)
+        assert row["events"] > 0
+        assert row["events_per_s"] > 0
+
+
+def test_macro_suite_smoke():
+    results = run_macro_suite(smoke=True, repeat=1, verbose=False)
+    assert "fig10_reduced" in results
+    assert results["fig10_reduced"]["events"] > 0
+
+
+def test_append_entry_builds_headline(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    base = bench_entry("base", {"b": {"wall_s": 2.0, "events_per_s": 100.0,
+                                      "ops_per_s": 10.0, "events": 200}},
+                       smoke=False)
+    fast = bench_entry("fast", {"b": {"wall_s": 1.0, "events_per_s": 250.0,
+                                      "ops_per_s": 20.0, "events": 250}},
+                       smoke=False)
+    doc = append_entry(path, base, benchmark="test")
+    assert "headline" not in doc
+    doc = append_entry(path, fast, benchmark="test")
+    h = doc["headline"]["b"]
+    assert h["wall_speedup_x"] == 2.0
+    assert h["wall_reduction_pct"] == 50.0
+    assert h["ops_per_s_x"] == 2.0
+    assert h["events_per_s_x"] == 2.5
+    on_disk = json.loads(path.read_text())
+    assert len(on_disk["entries"]) == 2
+
+
+def test_smoke_and_full_entries_never_compared(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    full = bench_entry("full", {"b": {"wall_s": 2.0, "events_per_s": 1.0}},
+                       smoke=False)
+    smoke = bench_entry("smoke", {"b": {"wall_s": 0.1, "events_per_s": 1.0}},
+                        smoke=True)
+    append_entry(path, full, benchmark="test")
+    doc = append_entry(path, smoke, benchmark="test")
+    assert "headline" not in doc

@@ -1,0 +1,229 @@
+"""Tests for the kernel's hot-path machinery: cancellable timers,
+``wait_any``, the zero-delay FIFOs, callback tombstoning, and the
+timer/kick free-lists."""
+
+import pytest
+
+from repro.sim import Simulator, Timer, WaitAny
+from repro.sim.events import CANCELLED
+
+
+# ------------------------------------------------------------- timers
+def test_timer_fires_like_a_timeout():
+    sim = Simulator()
+
+    def proc():
+        v = yield sim.timer(2.0, value="ding")
+        return (sim.now, v)
+
+    assert sim.run_process(sim.process(proc())) == (2.0, "ding")
+
+
+def test_cancelled_timer_never_dispatches():
+    sim = Simulator()
+    fired = []
+    t = sim.timer(5.0)
+    t.add_callback(lambda ev: fired.append(sim.now))
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert t.state is CANCELLED
+    assert sim._nswept == 1
+    assert sim.pending_events == 0
+
+
+def test_cancelled_timer_is_recycled():
+    sim = Simulator()
+    t = sim.timer(5.0)
+    t.cancel()
+    sim.run()  # sweeps the tombstone into the free-list
+    t2 = sim.timer(1.0)
+    assert t2 is t  # same object, reborn from the pool
+
+    def proc():
+        yield t2
+
+    sim.run_process(sim.process(proc()))
+    assert sim.now == pytest.approx(6.0)  # swept at 5.0, reborn +1.0
+
+
+def test_cancel_after_dispatch_is_noop():
+    sim = Simulator()
+    t = sim.timer(1.0)
+    sim.run()
+    t.cancel()
+    assert t.ok  # still a successfully dispatched event
+    assert sim._nswept == 0
+
+
+def test_mass_cancellation_compacts_the_heap():
+    sim = Simulator()
+    timers = [sim.timer(10.0 + i) for i in range(300)]
+    assert sim.pending_events == 300
+    for t in timers:
+        t.cancel()
+    # Compaction kicks in long before the run: the heap must not hold
+    # 300 tombstones until t=10.
+    assert sim.pending_events < 300
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim._nswept == 300
+
+
+# ------------------------------------------------------------ wait_any
+def test_wait_any_event_wins():
+    sim = Simulator()
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.succeed("fast")
+
+    def proc():
+        won = yield sim.wait_any(ev, 5.0)
+        return (won, sim.now, ev.value)
+
+    sim.process(trigger())
+    assert sim.run_process(sim.process(proc())) == (True, 1.0, "fast")
+    sim.run()
+    assert sim._nswept == 1  # the losing deadline was swept, not dispatched
+
+
+def test_wait_any_deadline_wins():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc():
+        won = yield sim.wait_any(ev, 2.0)
+        return (won, sim.now)
+
+    assert sim.run_process(sim.process(proc())) == (False, 2.0)
+    ev.succeed("late")  # must not blow up on the tombstoned callback
+    sim.run()
+
+
+def test_wait_any_with_already_dispatched_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("past")
+    sim.run()
+
+    def proc():
+        won = yield sim.wait_any(ev, 5.0)
+        return (won, sim.now)
+
+    assert sim.run_process(sim.process(proc())) == (True, 0.0)
+
+
+def test_wait_any_failure_is_silence():
+    """A failed child behaves like AnyOf's all-must-fail rule: with a
+    deadline present, the failure surfaces as a timeout."""
+    sim = Simulator()
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("dead"))
+
+    def proc():
+        won = yield sim.wait_any(ev, 3.0)
+        return (won, sim.now)
+
+    sim.process(trigger())
+    assert sim.run_process(sim.process(proc())) == (False, 3.0)
+
+
+def test_wait_any_is_a_pooled_composition():
+    sim = Simulator()
+    w = sim.wait_any(sim.event(), 1.0)
+    assert isinstance(w, WaitAny)
+    assert isinstance(w._timer, Timer)
+
+
+# ------------------------------------------------- zero-delay FIFO order
+def test_same_tick_events_keep_schedule_order():
+    """Zero-delay events ride the FIFOs, delayed ones the heap; dispatch
+    order must still be (time, priority, seq)."""
+    sim = Simulator()
+    order = []
+    for tag in ("a", "b", "c"):
+        ev = sim.event()
+        ev.add_callback(lambda _e, t=tag: order.append(t))
+        ev.succeed()  # zero-delay, priority 1
+    t = sim.timeout(0.0)
+    t.add_callback(lambda _e: order.append("t"))
+    sim.run()
+    assert order == ["a", "b", "c", "t"]
+
+
+def test_urgent_kicks_preempt_same_tick_events():
+    """Process bootstrap (priority 0) runs before ordinary zero-delay
+    events scheduled earlier at the same instant."""
+    sim = Simulator()
+    order = []
+    ev = sim.event()
+    ev.add_callback(lambda _e: order.append("event"))
+    ev.succeed()  # priority 1, scheduled first
+
+    def proc():
+        order.append("process")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    sim.process(proc())  # bootstrap kick at priority 0, scheduled second
+    sim.run()
+    assert order == ["process", "event"]
+
+
+def test_immediate_and_heap_interleave_by_time():
+    sim = Simulator()
+    order = []
+
+    def stamp(tag):
+        return lambda _e: order.append((sim.now, tag))
+
+    sim.timeout(1.0).add_callback(stamp("late"))
+    ev = sim.event()
+    ev.add_callback(stamp("now"))
+    ev.succeed()
+    sim.run()
+    assert order == [(0.0, "now"), (1.0, "late")]
+
+
+# ----------------------------------------------------- callback removal
+def test_remove_callback_tombstones_without_reorder():
+    sim = Simulator()
+    calls = []
+    ev = sim.event()
+    first = lambda _e: calls.append("first")  # noqa: E731
+    ev.add_callback(first)
+    ev.add_callback(lambda _e: calls.append("second"))
+    ev.remove_callback(first)
+    ev.succeed()
+    sim.run()
+    assert calls == ["second"]
+
+
+# ------------------------------------------------------------ free-lists
+def test_kick_pool_recycles_bootstrap_events():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0.1)
+
+    sim.run_process(sim.process(proc()))
+    assert len(sim._kick_pool) == 1
+    before = sim._kick_pool[0]
+    sim.run_process(sim.process(proc()))
+    assert sim._kick_pool[0] is before  # reused, then returned
+
+
+def test_peak_pending_tracks_high_water_mark():
+    sim = Simulator()
+    for i in range(10):
+        sim.timeout(float(i + 1))
+    assert sim.pending_events == 10
+    assert sim.peak_pending == 10
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.peak_pending == 10
