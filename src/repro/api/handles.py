@@ -12,9 +12,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.client import SorrentoClient, SorrentoError
-
-_handle_ids = itertools.count(1)
+from repro.core.client import NotFoundError, SorrentoClient, SorrentoError
 
 
 @dataclass(frozen=True)
@@ -32,7 +30,10 @@ class HandleAPI:
     def __init__(self, client: SorrentoClient):
         self.client = client
         self._open_files: Dict[int, object] = {}
-        self.root = Handle(next(_handle_ids), "/", True)
+        # Per-instance ids: two deployments in one interpreter must mint
+        # independent, reproducible handle-id sequences.
+        self._handle_ids = itertools.count(1)
+        self.root = Handle(next(self._handle_ids), "/", True)
 
     def _child(self, dirh: Handle, name: str) -> str:
         if not dirh.is_dir:
@@ -46,24 +47,24 @@ class HandleAPI:
         path = self._child(dirh, name)
         try:
             yield from self.client.stat(path)
-            return Handle(next(_handle_ids), path, False)
-        except SorrentoError:
+            return Handle(next(self._handle_ids), path, False)
+        except NotFoundError:
             listing = yield from self.client.listdir(dirh.path)
             if name + "/" in listing:
-                return Handle(next(_handle_ids), path, True)
+                return Handle(next(self._handle_ids), path, True)
             raise
 
     def create(self, dirh: Handle, name: str, **params):
         """CREATE: make a file and return its handle."""
         path = self._child(dirh, name)
         yield from self.client.create(path, **params)
-        return Handle(next(_handle_ids), path, False)
+        return Handle(next(self._handle_ids), path, False)
 
     def mkdir(self, dirh: Handle, name: str):
         """MKDIR under a directory handle."""
         path = self._child(dirh, name)
         yield from self.client.mkdir(path)
-        return Handle(next(_handle_ids), path, True)
+        return Handle(next(self._handle_ids), path, True)
 
     def readdir(self, dirh: Handle):
         """READDIR: child names (subdirs end with '/')."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.client import SorrentoClient, SorrentoError
+from repro.core.client import ConflictError, SorrentoClient, SorrentoError
 from repro.sim import Barrier, gather
 
 Range = Tuple[int, int]  # (offset, length)
@@ -43,7 +43,8 @@ class ParallelIO:
         fh = yield from self.client.open(path, "w", create=create,
                                          **create_params)
         if fh.versioning:
-            raise SorrentoError(
+            # The existing entry conflicts with what this interface needs.
+            raise ConflictError(
                 f"{path} is a versioned file; the byte-range sharing "
                 "interface needs versioning disabled at creation"
             )

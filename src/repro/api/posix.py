@@ -11,12 +11,17 @@ the paper describes applications fine-tuning per-file management.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
-from repro.core.client import SorrentoClient, SorrentoError
+from repro.core.client import NotFoundError, SorrentoClient, SorrentoError
 
-O_RDONLY = "r"
-O_WRONLY = "w"
+#: Open flags, ``os``-style ints.  The historical string forms ("r"/"w")
+#: are still accepted by :meth:`PosixAPI.open`.
+O_RDONLY = 0
+O_WRONLY = 1
+
+#: flag -> internal open mode; keys cover both spellings.
+_OPEN_MODES = {O_RDONLY: "r", O_WRONLY: "w", "r": "r", "w": "w"}
 
 SEEK_SET = 0
 SEEK_CUR = 1
@@ -38,12 +43,17 @@ class PosixAPI:
         self._next_fd = 3  # 0-2 reserved, as tradition demands
 
     # -- fd lifecycle ---------------------------------------------------
-    def open(self, path: str, flags: str = O_RDONLY, create: bool = False,
-             **create_params):
-        """open(2): returns a small-integer fd."""
-        if flags not in (O_RDONLY, O_WRONLY):
+    def open(self, path: str, flags: Union[int, str] = O_RDONLY,
+             create: bool = False, **create_params):
+        """open(2): returns a small-integer fd.
+
+        ``flags`` accepts the ``O_RDONLY``/``O_WRONLY`` ints or the
+        historical ``"r"``/``"w"`` strings.
+        """
+        mode = _OPEN_MODES.get(flags)
+        if mode is None:
             raise ValueError(f"bad flags {flags!r}")
-        fh = yield from self.client.open(path, flags, create=create,
+        fh = yield from self.client.open(path, mode, create=create,
                                          **create_params)
         fd = self._next_fd
         self._next_fd += 1
@@ -54,7 +64,7 @@ class PosixAPI:
         """close(2): commits pending writes (Section 3.5 semantics)."""
         of = self._fds.pop(fd, None)
         if of is None:
-            raise SorrentoError(f"EBADF {fd}")
+            raise NotFoundError(f"EBADF {fd}")
         version = yield from self.client.close(of.fh)
         return version
 
@@ -162,5 +172,5 @@ class PosixAPI:
     def _require(self, fd: int) -> _OpenFile:
         of = self._fds.get(fd)
         if of is None:
-            raise SorrentoError(f"EBADF {fd}")
+            raise NotFoundError(f"EBADF {fd}")
         return of

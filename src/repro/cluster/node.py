@@ -118,6 +118,18 @@ class Node(Host):
                           self.storage_utilization)
 
     # -- failure injection --------------------------------------------
+    def set_disk_fault(self, fault) -> None:
+        """Degrade this node's storage device (see :mod:`repro.faults`);
+        ``fault`` is a :class:`~repro.storage.disk.DiskFaultState`."""
+        if self.device is None:
+            raise ValueError(f"{self.hostid} exports no storage device")
+        self.device.set_fault(fault)
+
+    def clear_disk_fault(self) -> None:
+        """Restore nominal disk service (no-op without a device)."""
+        if self.device is not None:
+            self.device.clear_fault()
+
     def crash(self, wipe: bool = False) -> None:
         """Fail the node: NIC silent, all node processes interrupted.
 

@@ -21,16 +21,22 @@ by ``stub.SorrentoClient``.  This package re-exports the public names so
 
 from repro.core.client.handle import (
     CommitConflict,
+    ConflictError,
     FileHandle,
+    NotFoundError,
     SorrentoError,
+    TimeoutError,
     make_layout_for,
 )
 from repro.core.client.stub import SorrentoClient
 
 __all__ = [
     "CommitConflict",
+    "ConflictError",
     "FileHandle",
+    "NotFoundError",
     "SorrentoClient",
     "SorrentoError",
+    "TimeoutError",
     "make_layout_for",
 ]

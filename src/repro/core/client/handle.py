@@ -9,11 +9,29 @@ from repro.core.layout import Layout, make_layout
 
 
 class SorrentoError(Exception):
-    """Client-visible failure (no owners, namespace error, ...)."""
+    """Base of every client-visible failure.
+
+    Catch this to handle anything the volume can throw; catch the
+    subclasses below to react to the three conditions applications
+    actually branch on (missing, contended, unreachable)."""
 
 
-class CommitConflict(SorrentoError):
-    """Another writer committed first; the shadow copy was dropped."""
+class NotFoundError(SorrentoError):
+    """The path, version, or segment does not exist (ENOENT-like)."""
+
+
+class ConflictError(SorrentoError):
+    """Another actor got there first: a commit conflict, an existing
+    path on create (EEXIST), or a non-empty directory (ENOTEMPTY)."""
+
+
+#: Historical name for :class:`ConflictError`; kept as an exact alias so
+#: ``except CommitConflict`` keeps catching what it always caught.
+CommitConflict = ConflictError
+
+
+class TimeoutError(SorrentoError):  # noqa: A001 - deliberate shadow
+    """A server needed for the operation did not answer in time."""
 
 
 def _meta_size(meta: Optional[dict]) -> int:

@@ -12,8 +12,11 @@ from typing import Optional
 
 from repro.core.client.handle import (
     CommitConflict,
+    ConflictError,
     FileHandle,
+    NotFoundError,
     SorrentoError,
+    TimeoutError,
     _meta_size,
     make_layout_for,
 )
@@ -43,19 +46,17 @@ class DataPathMixin:
         try:
             entry = yield from self._call_ns(
                 "ns_lookup", path, rtts=self.params.open_rtts)
-        except SorrentoError:
+        except NotFoundError:
             if not (create and mode == "w"):
                 raise
             try:
                 entry = yield from self.create(path, **create_params)
-            except SorrentoError as exc:
-                if "EEXIST" not in str(exc):
-                    raise
+            except ConflictError:
                 # Lost a create race: the other writer's entry is ours too.
                 entry = yield from self._call_ns("ns_lookup", path)
         if version is not None:
             if not 0 < version <= entry["version"]:
-                raise SorrentoError(
+                raise NotFoundError(
                     f"{path}: no version {version} (latest is "
                     f"{entry['version']})"
                 )
@@ -109,7 +110,7 @@ class DataPathMixin:
                 break
             yield self.sim.timeout(0.02 * (attempt + 1))
         if meta is None:
-            raise SorrentoError(
+            raise TimeoutError(
                 f"index segment of {fh.path} v{want} unavailable"
             )
         fh.layout = copy.deepcopy(meta["layout"])
@@ -234,7 +235,7 @@ class DataPathMixin:
             # The shadow's owner died mid-session: the write (and the
             # whole session) cannot complete; the shadow TTL cleans up.
             fh.shadows.pop(ref.segid, None)
-            raise SorrentoError(
+            raise TimeoutError(
                 f"owner of segment {ref.segid:#x} died mid-write: {exc}"
             ) from exc
 

@@ -9,9 +9,23 @@ from __future__ import annotations
 import hashlib
 from typing import Optional
 
-from repro.core.client.handle import SorrentoError
+from repro.core.client.handle import (
+    ConflictError,
+    NotFoundError,
+    SorrentoError,
+    TimeoutError,
+)
 from repro.network.message import RpcRemoteError, RpcTimeout
 from repro.sim import gather
+
+
+def _namespace_error(error: str) -> SorrentoError:
+    """Map a remote ``NamespaceError`` string onto the typed hierarchy."""
+    if "ENOENT" in error:
+        return NotFoundError(error)
+    if "EEXIST" in error or "ENOTEMPTY" in error:
+        return ConflictError(error)
+    return SorrentoError(error)
 
 
 class NamespaceOpsMixin:
@@ -44,7 +58,7 @@ class NamespaceOpsMixin:
                 return result
             except RpcRemoteError as exc:
                 if "NamespaceError" in exc.error:
-                    raise SorrentoError(exc.error) from exc
+                    raise _namespace_error(exc.error) from exc
                 raise
         last_exc = None
         for _attempt in range(len(self.ns_hosts)):
@@ -55,13 +69,13 @@ class NamespaceOpsMixin:
                 return result
             except RpcRemoteError as exc:
                 if "NamespaceError" in exc.error:
-                    raise SorrentoError(exc.error) from exc
+                    raise _namespace_error(exc.error) from exc
                 raise
             except RpcTimeout as exc:
                 # Primary unreachable: fail over to the standby replica.
                 last_exc = exc
                 self._ns_active = (self._ns_active + 1) % len(self.ns_hosts)
-        raise SorrentoError(
+        raise TimeoutError(
             f"namespace server unreachable: {last_exc}"
         ) from last_exc
 

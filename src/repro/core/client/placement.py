@@ -10,7 +10,12 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional, Tuple
 
-from repro.core.client.handle import FileHandle, SorrentoError
+from repro.core.client.handle import (
+    FileHandle,
+    NotFoundError,
+    SorrentoError,
+    TimeoutError,
+)
 from repro.core.placement import choose_provider
 from repro.core.provider import LOCATION_GROUP
 from repro.network.message import RpcRemoteError, RpcTimeout
@@ -61,13 +66,13 @@ class PlacementMixin:
         won = yield self.sim.wait_any(ev, self.params.rpc_timeout)
         self._probe_waiters.pop(nonce, None)
         if not won:
-            raise SorrentoError(f"no owner responded for segment {segid:#x}")
+            raise TimeoutError(f"no owner responded for segment {segid:#x}")
         return ev.value
 
     def _pick_owner(self, owners: List[Tuple[str, int]]) -> Tuple[str, int]:
         """Choose among the newest-version owners at random (load spread)."""
         if not owners:
-            raise SorrentoError("segment has no owners")
+            raise NotFoundError("segment has no owners")
         newest = owners[0][1]
         best = [o for o in owners if o[1] == newest]
         return self.rng.choice(best)
@@ -154,6 +159,6 @@ class PlacementMixin:
             fh.new_segments[ref.segid] = owner
             fh.affinity_owner = owner
             return owner
-        raise SorrentoError(
+        raise TimeoutError(
             f"cannot place segment {ref.segid:#x}: {last}"
         ) from last

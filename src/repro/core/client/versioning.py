@@ -9,7 +9,12 @@ from __future__ import annotations
 import copy
 from typing import Optional
 
-from repro.core.client.handle import CommitConflict, FileHandle, SorrentoError
+from repro.core.client.handle import (
+    CommitConflict,
+    FileHandle,
+    SorrentoError,
+    TimeoutError,
+)
 from repro.core.layout import Layout
 from repro.core.twophase import CommitAborted, two_phase_commit
 from repro.network.message import RpcRemoteError, RpcTimeout
@@ -85,7 +90,7 @@ class VersioningMixin:
         try:
             index_owner, index_version = yield from self._prepare_index(fh)
         except RpcTimeout as exc:
-            raise SorrentoError(
+            raise TimeoutError(
                 f"{fh.path}: index segment owner unreachable: {exc}"
             ) from exc
         # (7) namespace approval, with bounded retry while "busy".
@@ -103,7 +108,7 @@ class VersioningMixin:
             yield self.sim.timeout(0.005 * (attempt + 1))
         else:
             yield from self._abort_shadows(fh, index_owner, index_version)
-            raise SorrentoError(f"{fh.path}: commit grant starved")
+            raise TimeoutError(f"{fh.path}: commit grant starved")
         # (8) 2PC across every shadowed/new segment + the index shadow.
         participants = [
             (owner, {"segid": segid, "version": version})

@@ -9,6 +9,21 @@ Shape targets: a dip right after the failure (requests to the dead node
 time out), recovery to ~94% of the initial rate once location tables
 adjust, a further slide toward ~85% while re-replication traffic runs,
 and no interruption of service throughout.
+
+Beyond the paper's crash-stop scenario, ``variant=`` replays the same
+experiment under other injected faults from :mod:`repro.faults`:
+
+* ``"crash"`` — the paper's scenario: fail-stop at ``fail_at``, a fresh
+  node joins at ``join_at``;
+* ``"partition"`` — the victim is cut off by the switch at ``fail_at``
+  and reconnected at ``join_at`` (no replacement node: the cluster must
+  route around it and re-absorb it);
+* ``"slowdisk"`` — the victim's RAID limps at ``DISK_SLOWDOWN`` x
+  service time from ``fail_at`` until ``join_at`` (a gray failure: the
+  node stays up and keeps answering, just slowly).
+
+Every run reports dip depth, MTTR, and post-recovery throughput from
+:func:`repro.faults.recovery_metrics`, plus the executed fault timeline.
 """
 
 from __future__ import annotations
@@ -18,6 +33,17 @@ from typing import Dict, List
 
 from repro.cluster import NodeSpec
 from repro.experiments.common import cluster_b_like, format_table, sorrento_on
+from repro.faults import (
+    DiskFault,
+    DiskHeal,
+    FaultController,
+    FaultPlan,
+    Heal,
+    NodeCrash,
+    Partition,
+    format_recovery,
+    recovery_metrics,
+)
 from repro.workloads.bulk import bulk_client, populate
 
 GB = 1 << 30
@@ -25,9 +51,31 @@ MB = 1 << 20
 
 SAMPLE = 3.0
 
+VARIANTS = ("crash", "partition", "slowdisk")
+
+#: Service-time multiplier for the gray-failure variant.
+DISK_SLOWDOWN = 12.0
+
+
+def _build_plan(variant: str, victim: str, fail_at: float,
+                join_at: float) -> FaultPlan:
+    if variant == "crash":
+        # The node is replaced (add_provider), never restarted.
+        return FaultPlan().at(fail_at, NodeCrash(victim))
+    if variant == "partition":
+        return (FaultPlan()
+                .at(fail_at, Partition((victim,)))
+                .at(join_at, Heal()))
+    if variant == "slowdisk":
+        return (FaultPlan()
+                .at(fail_at, DiskFault(victim, slowdown=DISK_SLOWDOWN))
+                .at(join_at, DiskHeal(victim)))
+    raise ValueError(f"unknown variant {variant!r} (pick from {VARIANTS})")
+
 
 def run(scale: float = 0.1, duration: float = 120.0, fail_at: float = 30.0,
-        join_at: float = 45.0, seed: int = 0) -> Dict:
+        join_at: float = 45.0, seed: int = 0,
+        variant: str = "crash") -> Dict:
     """Returns {"t": [...], "rate": [...], ...} sampled every 3 s."""
     n_files = max(10, int(200 * scale))
     file_size = max(16 * MB, int(512 * MB * scale))
@@ -53,17 +101,24 @@ def run(scale: float = 0.1, duration: float = 120.0, fail_at: float = 30.0,
     if victim == dep.ns_host:
         victim = sorted(dep.providers)[4]
 
-    def orchestrate():
-        yield dep.sim.timeout(fail_at)
-        dep.crash_provider(victim)
-        yield dep.sim.timeout(join_at - fail_at)
-        dep.add_provider(NodeSpec(
-            name="bnew", cpus=2, cpu_ghz=1.4, memory=4 * GB,
-            disks=("ultrastar-dk32ej",) * 3,
-            export_capacity=int(176 * GB),
-        ))
+    controller = FaultController(dep, _build_plan(variant, victim,
+                                                  fail_at, join_at))
+    controller.start()
 
-    dep.sim.process(orchestrate())
+    if variant == "crash":
+        # The paper's join half: a brand-new provider replaces the dead
+        # one.  Capacity changes are operations, not faults, so this
+        # stays outside the fault plan.
+        def join_new_node():
+            yield dep.sim.timeout(join_at)
+            dep.add_provider(NodeSpec(
+                name="bnew", cpus=2, cpu_ghz=1.4, memory=4 * GB,
+                disks=("ultrastar-dk32ej",) * 3,
+                export_capacity=int(176 * GB),
+            ))
+
+        dep.sim.process(join_new_node())
+
     dep.sim.run(until=t0 + duration)
 
     # Bucket progress into 3-second samples.
@@ -77,18 +132,27 @@ def run(scale: float = 0.1, duration: float = 120.0, fail_at: float = 30.0,
 
     replicated = sum(p.stats["replications"]
                      for p in dep.providers.values() if p.node.alive)
+    recovery = recovery_metrics(times, rates, fail_at)
     return {"t": times, "rate": rates, "victim": victim,
             "fail_at": fail_at, "join_at": join_at,
-            "replications": replicated}
+            "replications": replicated, "variant": variant,
+            "recovery": recovery,
+            "fault_timeline": [(t - t0, kind, repr(ev))
+                               for t, kind, ev in controller.timeline]}
 
 
 def report(res: Dict) -> str:
     rows = [[t, r] for t, r in zip(res["t"], res["rate"])]
     table = format_table(
-        f"Figure 13 - throughput around a failure (t={res['fail_at']:g}s, "
-        f"node {res['victim']}) and a join (t={res['join_at']:g}s)",
+        f"Figure 13 ({res['variant']}) - throughput around a fault "
+        f"(t={res['fail_at']:g}s, node {res['victim']}) healed/joined at "
+        f"t={res['join_at']:g}s",
         ["t (s)", "MB/s"], rows)
+    table += f"\nrecovery: {format_recovery(res['recovery'])}"
     table += f"\nreplica-repair transfers completed: {res['replications']}"
+    table += "\nfault timeline:"
+    for t, kind, ev in res["fault_timeline"]:
+        table += f"\n  t={t:8.3f}s  {kind:<13} {ev}"
     return table
 
 
@@ -100,19 +164,23 @@ def checks(res: Dict) -> list:
            if res["fail_at"] < x <= res["fail_at"] + 9]
     after = [r for x, r in zip(t, rate) if x > res["join_at"] + 15]
     base = sum(before) / len(before)
-    if min(dip) > 0.9 * base:
+    # The gray-failure variant degrades rather than severs the victim, so
+    # a hard dip is only demanded of crash and partition.
+    if res["variant"] in ("crash", "partition") and min(dip) > 0.9 * base:
         bad.append("no visible dip right after the failure")
     if not after or sum(after) / len(after) < 0.6 * base:
         bad.append("throughput did not recover after the failure")
     if min(rate) <= 0:
         bad.append("service was interrupted (zero-throughput sample)")
-    if res["replications"] == 0:
+    # Re-replication is only guaranteed for a permanent loss; a partition
+    # or slow disk heals before the repair grace period forces copies.
+    if res["variant"] == "crash" and res["replications"] == 0:
         bad.append("no re-replication happened")
     return bad
 
 
-def main(scale: float = 0.1) -> str:
-    res = run(scale=scale)
+def main(scale: float = 0.1, variant: str = "crash") -> str:
+    res = run(scale=scale, variant=variant)
     text = report(res)
     for problem in checks(res):
         text += f"\nSHAPE VIOLATION: {problem}"
@@ -121,4 +189,6 @@ def main(scale: float = 0.1) -> str:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(variant=sys.argv[1] if len(sys.argv) > 1 else "crash")

@@ -35,6 +35,10 @@ def sections(quick: bool = False):
           "client_counts": (1, 4, 8) if quick else fig11.CLIENT_COUNTS}),
         ("Figure 12", "fig12_apps", {"scale": 0.01 if quick else 0.02}),
         ("Figure 13", "fig13_failure", {"scale": 0.08 if quick else 0.1}),
+        ("Figure 13 (partition)", "fig13_failure",
+         {"scale": 0.08 if quick else 0.1, "variant": "partition"}),
+        ("Figure 13 (slow disk)", "fig13_failure",
+         {"scale": 0.08 if quick else 0.1, "variant": "slowdisk"}),
         ("Figure 14", "fig14_crawler",
          {"scale": 0.012 if quick else 0.02,
           "duration": 1200.0 if quick else 2400.0}),
@@ -76,7 +80,7 @@ def main() -> None:
                         help="smaller scales (faster, same shapes)")
     parser.add_argument("--out", default=None,
                         help="also write the report to this file")
-    parser.add_argument("--parallel", nargs="?", type=int, const=7, default=0,
+    parser.add_argument("--parallel", nargs="?", type=int, const=9, default=0,
                         metavar="N",
                         help="run sections in N worker processes "
                              "(default: one per section)")

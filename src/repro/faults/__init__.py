@@ -1,0 +1,50 @@
+"""Declarative, seed-deterministic fault injection.
+
+The fault plane turns the crash-only chaos test into a scenario library:
+a :class:`FaultPlan` schedules typed events (crashes, partitions,
+degraded links, disk faults), a :class:`FaultController` process executes
+them on the sim clock, and :func:`recovery_metrics` summarizes the
+damage (dip depth, MTTR, steady-state delta) from any sampled
+throughput series.
+
+All injection flows through named deterministic RNG streams, so a run
+with an active plan replays bit-identically from its seed.  See
+``docs/faults.md`` for the fault model and a scenario cookbook.
+"""
+
+from repro.faults.analysis import format_recovery, recovery_metrics
+from repro.faults.controller import (
+    FAULT_SCOPE,
+    FaultController,
+    fault_timeline_report,
+    inject,
+)
+from repro.faults.plan import (
+    DiskFault,
+    DiskHeal,
+    FaultPlan,
+    Heal,
+    LinkDegrade,
+    LinkRestore,
+    NodeCrash,
+    NodeRestart,
+    Partition,
+)
+
+__all__ = [
+    "DiskFault",
+    "DiskHeal",
+    "FAULT_SCOPE",
+    "FaultController",
+    "FaultPlan",
+    "Heal",
+    "LinkDegrade",
+    "LinkRestore",
+    "NodeCrash",
+    "NodeRestart",
+    "Partition",
+    "fault_timeline_report",
+    "format_recovery",
+    "inject",
+    "recovery_metrics",
+]

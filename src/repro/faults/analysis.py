@@ -1,0 +1,76 @@
+"""Recovery metrics over a sampled throughput series.
+
+Experiments sample throughput into ``(time, rate)`` series; given the
+instant a fault struck, :func:`recovery_metrics` summarizes the response
+the way availability studies report it:
+
+* **baseline** — mean rate over the pre-fault samples;
+* **dip depth** — worst post-fault drop, as a fraction of baseline
+  (0.0 = no visible effect, 1.0 = full outage);
+* **MTTR** — seconds from the fault until the rate first comes back to
+  ``recovered_frac`` of baseline *and stays there* (sustained recovery,
+  not a single lucky sample);
+* **post-recovery throughput** and its **steady-state delta** vs the
+  baseline (re-replication overhead or a permanently smaller cluster
+  shows up here).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def recovery_metrics(times: Sequence[float], rates: Sequence[float],
+                     fault_at: float, *, recovered_frac: float = 0.9,
+                     sustain: int = 2) -> Dict[str, float]:
+    """Summarize a fault's impact on a throughput time series.
+
+    ``sustain`` is how many consecutive samples must clear the recovery
+    threshold before the first of them counts as the recovery point.
+    Returns NaN/inf placeholders when the series cannot support the
+    computation (no pre-fault samples; never recovered).
+    """
+    if len(times) != len(rates):
+        raise ValueError("times and rates must have equal length")
+    before = [r for t, r in zip(times, rates) if t <= fault_at]
+    after = [(t, r) for t, r in zip(times, rates) if t > fault_at]
+    if not before or not after:
+        return {"baseline": float("nan"), "dip_depth": float("nan"),
+                "mttr": float("inf"), "post_mean": float("nan"),
+                "steady_delta": float("nan")}
+    baseline = sum(before) / len(before)
+    worst = min(r for _, r in after)
+    dip_depth = max(0.0, 1.0 - worst / baseline) if baseline > 0 else 0.0
+
+    threshold = recovered_frac * baseline
+    recovered_at = None
+    run = 0
+    for i, (t, r) in enumerate(after):
+        run = run + 1 if r >= threshold else 0
+        if run >= sustain:
+            recovered_at = after[i - sustain + 1][0]
+            break
+    mttr = (recovered_at - fault_at) if recovered_at is not None \
+        else float("inf")
+
+    if recovered_at is not None:
+        post = [r for t, r in after if t >= recovered_at]
+    else:  # never recovered: report the tail quarter anyway
+        post = [r for _, r in after[-max(1, len(after) // 4):]]
+    post_mean = sum(post) / len(post)
+    steady_delta = (post_mean / baseline - 1.0) if baseline > 0 \
+        else float("nan")
+    return {"baseline": baseline, "dip_depth": dip_depth, "mttr": mttr,
+            "post_mean": post_mean, "steady_delta": steady_delta}
+
+
+def format_recovery(metrics: Dict[str, float]) -> str:
+    """Human-readable one-liner for experiment reports."""
+    mttr = metrics["mttr"]
+    mttr_s = f"{mttr:.1f}s" if math.isfinite(mttr) else "not recovered"
+    return (f"baseline {metrics['baseline']:.1f} MB/s, "
+            f"dip depth {100 * metrics['dip_depth']:.0f}%, "
+            f"MTTR {mttr_s}, "
+            f"post-recovery {metrics['post_mean']:.1f} MB/s "
+            f"({100 * metrics['steady_delta']:+.0f}% vs baseline)")

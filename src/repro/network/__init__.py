@@ -13,12 +13,13 @@ from repro.network.message import (
     RpcTimeout,
 )
 from repro.network.nic import NIC, FAST_ETHERNET_BPS, GIGABIT_BPS
-from repro.network.switch import Fabric
+from repro.network.switch import Fabric, LinkFault
 from repro.network.transport import Endpoint
 
 __all__ = [
     "Endpoint",
     "Fabric",
+    "LinkFault",
     "FAST_ETHERNET_BPS",
     "GIGABIT_BPS",
     "Message",

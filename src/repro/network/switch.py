@@ -15,7 +15,8 @@ been handed to (or dropped by) its receiver.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.network.message import MULTICAST, Message, release_message
 from repro.network.nic import NIC, FAST_ETHERNET_BPS
@@ -43,8 +44,29 @@ class Host:
         self.deliver: Optional[Callable[[Message], None]] = None
 
 
+@dataclass(frozen=True)
+class LinkFault:
+    """Degradation installed on a directed link (see :mod:`repro.faults`).
+
+    All probabilistic decisions draw from ``rng`` — a named stream owned
+    by the fault plane — so same-seed replays stay bit-identical.
+    """
+
+    rng: Any                        # random.Random-compatible stream
+    extra_latency: float = 0.0      # deterministic added one-way delay (s)
+    jitter: float = 0.0             # uniform [0, jitter) extra delay (s)
+    drop: float = 0.0               # per-copy drop probability
+    duplicate: float = 0.0          # per-copy duplication probability
+    bandwidth_cap: Optional[float] = None  # bytes/s ceiling on this link
+
+
 class Fabric:
-    """The cluster interconnect."""
+    """The cluster interconnect.
+
+    Fault hooks (partitions, degraded links) are inert until installed:
+    the hot path only pays two falsy checks per transmit, draws no RNG,
+    and schedules no extra events when no fault is active.
+    """
 
     def __init__(self, sim: Simulator, latency: float = DEFAULT_LATENCY):
         self.sim = sim
@@ -53,6 +75,57 @@ class Fabric:
         self.groups: Dict[str, Set[str]] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        # Directed (src, dst) pairs the switch refuses to forward.
+        self._blocked: Set[Tuple[str, str]] = set()
+        # Directed link degradations; "*" wildcards either end.
+        self._link_faults: Dict[Tuple[str, str], LinkFault] = {}
+
+    # -- fault plane -----------------------------------------------------
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str],
+                  symmetric: bool = True) -> None:
+        """Stop forwarding from ``side_a`` to ``side_b`` (and back, when
+        symmetric).  Loopback is untouched: a host always reaches itself."""
+        for a in side_a:
+            for b in side_b:
+                if a == b:
+                    continue
+                self._blocked.add((a, b))
+                if symmetric:
+                    self._blocked.add((b, a))
+
+    def heal(self, side_a: Optional[Iterable[str]] = None,
+             side_b: Optional[Iterable[str]] = None) -> None:
+        """Undo partitions: with no arguments, every block is lifted;
+        otherwise only the (a, b) pairs (both directions) are."""
+        if side_a is None or side_b is None:
+            self._blocked.clear()
+            return
+        for a in side_a:
+            for b in side_b:
+                self._blocked.discard((a, b))
+                self._blocked.discard((b, a))
+
+    def degrade_link(self, src: str, dst: str, fault: LinkFault) -> None:
+        """Install a :class:`LinkFault` on the directed ``src -> dst``
+        link; either end may be ``"*"``.  Most specific match wins."""
+        self._link_faults[(src, dst)] = fault
+
+    def restore_link(self, src: str = "*", dst: str = "*") -> None:
+        """Remove a previously-installed link degradation (no-op if
+        absent)."""
+        self._link_faults.pop((src, dst), None)
+
+    def restore_all_links(self) -> None:
+        self._link_faults.clear()
+
+    def _fault_for(self, src: str, dst: str) -> Optional[LinkFault]:
+        faults = self._link_faults
+        for key in ((src, dst), (src, "*"), ("*", dst), ("*", "*")):
+            fault = faults.get(key)
+            if fault is not None:
+                return fault
+        return None
 
     # -- membership of the wire ----------------------------------------
     def attach(self, host: Host) -> None:
@@ -103,19 +176,43 @@ class Fabric:
         # and rx links are still reserved for the full byte count.
         sim = self.sim
         now = sim.now
+        blocked = self._blocked
+        have_faults = bool(self._link_faults)
         tx_start, tx_done = src.nic.tx.reserve(msg.wire_size)
         copies = 0
         for hostid in targets:
+            # Partition: the copy leaves the sender's NIC and dies in the
+            # switch — tx time is charged, the receiver sees nothing.
+            if blocked and (msg.src, hostid) in blocked:
+                self.messages_dropped += 1
+                continue
             dst = self.hosts.get(hostid)
             if dst is None or not dst.alive or dst.deliver is None:
                 self.messages_dropped += 1
                 continue
-            _rx_start, rx_done = dst.nic.rx.reserve(
-                msg.wire_size, not_before=tx_start + self.latency)
-            arrive = max(tx_done + self.latency, rx_done)
-            sim.timeout(arrive - now).add_callback(
-                lambda _ev, d=dst, m=msg: self._deliver_copy(d, m))
-            copies += 1
+            ncopies, extra = 1, 0.0
+            if have_faults:
+                fault = self._fault_for(msg.src, hostid)
+                if fault is not None:
+                    if fault.drop and fault.rng.random() < fault.drop:
+                        self.messages_dropped += 1
+                        continue
+                    if fault.duplicate \
+                            and fault.rng.random() < fault.duplicate:
+                        ncopies = 2
+                        self.messages_duplicated += 1
+                    extra = fault.extra_latency
+                    if fault.jitter:
+                        extra += fault.rng.random() * fault.jitter
+                    if fault.bandwidth_cap:
+                        extra += msg.wire_size / fault.bandwidth_cap
+            for _ in range(ncopies):
+                _rx_start, rx_done = dst.nic.rx.reserve(
+                    msg.wire_size, not_before=tx_start + self.latency + extra)
+                arrive = max(tx_done + self.latency + extra, rx_done)
+                sim.timeout(arrive - now).add_callback(
+                    lambda _ev, d=dst, m=msg: self._deliver_copy(d, m))
+                copies += 1
         # Nothing fires before the next sim.step(), so the refcount is
         # safely published after the loop.
         msg._refs = copies

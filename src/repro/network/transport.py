@@ -18,7 +18,8 @@ delivery so the envelope can be recycled immediately.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, Tuple, Union
+from collections import deque
+from typing import Any, Callable, Dict, Generator, Set, Tuple, Union
 
 from repro.network.message import (
     MULTICAST,
@@ -41,6 +42,12 @@ Handler = Callable[[Any, str], Union[HandlerResult, Generator]]
 
 _req_ids = itertools.count(1)
 
+#: How many recent (src, req_id) pairs each endpoint remembers.  The
+#: window only needs to outlast one round-trip; duplicates injected by a
+#: degraded link (repro.faults LinkDegrade) arrive within microseconds
+#: of the original.
+_DEDUP_WINDOW = 512
+
 
 class Endpoint:
     """Per-host message dispatcher with named RPC services."""
@@ -52,6 +59,12 @@ class Endpoint:
         self.handlers: Dict[str, Handler] = {}
         self._proc_names: Dict[str, str] = {}
         self._pending: Dict[int, Any] = {}
+        # At-most-once request execution: a degraded link may deliver the
+        # same envelope twice, but handlers have side effects, so recent
+        # (src, req_id) pairs are remembered and repeats are ignored.
+        # (Duplicate responses are already safe: _pending.pop dedups.)
+        self._recent_reqs: deque = deque()
+        self._recent_set: Set[Tuple[str, int]] = set()
         host.deliver = self._on_message
 
     @property
@@ -150,6 +163,13 @@ class Endpoint:
             if ev is not None and not ev.triggered:
                 ev.succeed((kind, msg.payload))
         elif kind == "req":
+            key = (msg.src, msg.req_id)
+            if key in self._recent_set:
+                return  # duplicated in flight; the first copy answers
+            if len(self._recent_reqs) >= _DEDUP_WINDOW:
+                self._recent_set.discard(self._recent_reqs.popleft())
+            self._recent_reqs.append(key)
+            self._recent_set.add(key)
             service, payload = msg.payload
             handler = self.handlers.get(service)
             if handler is None:

@@ -9,6 +9,8 @@ queue); capacities and seek times come from the paper's table.
 from repro.storage.disk import (
     DISK_SPECS,
     Disk,
+    DiskFaultState,
+    DiskIOError,
     DiskSpec,
 )
 from repro.storage.filesystem import LocalFS, NoSpace
@@ -17,6 +19,8 @@ from repro.storage.raid import Raid0
 __all__ = [
     "DISK_SPECS",
     "Disk",
+    "DiskFaultState",
+    "DiskIOError",
     "DiskSpec",
     "LocalFS",
     "NoSpace",

@@ -9,11 +9,34 @@ transfer rates are period-appropriate estimates for those drive families
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.sim import Event, Simulator
 
 MB = 1 << 20
 GB = 1 << 30
+
+
+class DiskIOError(Exception):
+    """A request failed at the media (injected by :mod:`repro.faults`).
+
+    Raised out of the completion event, so it surfaces inside whatever
+    sim process issued the I/O — a provider handler turns it into an RPC
+    remote error for the client."""
+
+
+@dataclass(frozen=True)
+class DiskFaultState:
+    """Degradation installed on a drive by the fault plane.
+
+    ``rng`` is a named deterministic stream owned by the fault
+    controller; it is only consulted while ``error_rate`` is non-zero,
+    so an inactive fault draws nothing and replays stay bit-identical.
+    """
+
+    rng: Any = None             # random.Random-compatible stream
+    error_rate: float = 0.0     # per-request probability of DiskIOError
+    slowdown: float = 1.0       # service-time multiplier (>= 1.0)
 
 
 @dataclass(frozen=True)
@@ -59,6 +82,16 @@ class Disk:
         self.busy_accum = 0.0
         self.bytes_done = 0
         self.requests = 0
+        self.io_errors = 0
+        self.fault: Optional[DiskFaultState] = None
+
+    # -- fault plane -----------------------------------------------------
+    def set_fault(self, fault: DiskFaultState) -> None:
+        """Install a degradation (see :mod:`repro.faults`)."""
+        self.fault = fault
+
+    def clear_fault(self) -> None:
+        self.fault = None
 
     def service_time(self, nbytes: int, sequential: bool = False) -> float:
         t = nbytes / self.spec.transfer_bps
@@ -70,13 +103,26 @@ class Disk:
         """Queue one request; the event fires at completion."""
         if nbytes < 0:
             raise ValueError("negative I/O size")
+        fault = self.fault
         service = self.service_time(nbytes, sequential)
+        if fault is not None and fault.slowdown != 1.0:
+            service *= fault.slowdown
         start = max(self.sim.now, self._ready_at)
         done = start + service
         self._ready_at = done
         self.busy_accum += service
         self.bytes_done += nbytes
         self.requests += 1
+        if fault is not None and fault.error_rate > 0.0 \
+                and fault.rng.random() < fault.error_rate:
+            # The drive still spends the service time before erroring out.
+            self.io_errors += 1
+            ev = self.sim.event("disk-io-error")
+            exc = DiskIOError(
+                f"{self.spec.name}: I/O error ({nbytes} bytes)")
+            self.sim.timeout(done - self.sim.now).add_callback(
+                lambda _t, e=ev, x=exc: e.fail(x))
+            return ev
         return self.sim.timeout(done - self.sim.now)
 
     @property

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.sim import Event, Simulator
-from repro.storage.disk import Disk
+from repro.storage.disk import Disk, DiskFaultState
 
 DEFAULT_STRIPE = 64 * 1024
 
@@ -31,6 +31,21 @@ class Raid0:
     def capacity(self) -> int:
         # RAID-0 capacity = members x smallest member.
         return len(self.disks) * min(d.spec.capacity for d in self.disks)
+
+    # -- fault plane -----------------------------------------------------
+    def set_fault(self, fault: DiskFaultState) -> None:
+        """Degrade every member; RAID-0 has no redundancy, so one bad
+        stripe fails the whole request (AllOf propagates the error)."""
+        for disk in self.disks:
+            disk.set_fault(fault)
+
+    def clear_fault(self) -> None:
+        for disk in self.disks:
+            disk.clear_fault()
+
+    @property
+    def io_errors(self) -> int:
+        return sum(d.io_errors for d in self.disks)
 
     def io(self, nbytes: int, sequential: bool = False) -> Event:
         """Stripe one request over the members; fires when all parts land."""

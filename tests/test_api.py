@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.api import HandleAPI, PosixAPI
+from repro.api import (
+    CallPolicy,
+    CommitConflict,
+    ConflictError,
+    HandleAPI,
+    NotFoundError,
+    PosixAPI,
+    Session,
+    connect,
+)
 from repro.api.posix import O_RDONLY, O_WRONLY, SEEK_CUR, SEEK_END, SEEK_SET
 from repro.cluster import small_cluster
 from repro.core import SorrentoConfig, SorrentoDeployment
@@ -207,3 +216,103 @@ def test_posix_set_policy_extension():
     assert entry["degree"] == 3
     assert entry["alpha"] == 0.8
     assert entry["placement"] == "locality"
+
+
+# --------------------------------------------------------------- sessions
+def test_connect_shares_one_client_across_views():
+    dep = deploy()
+    sess = connect(dep, "c00")
+    assert isinstance(sess, Session)
+    assert sess.posix.client is sess.handles.client is sess.pario.client
+    assert sess.posix is sess.posix  # views are cached, not re-minted
+    assert sess.node.hostid == "c00"
+
+    def scenario():
+        fd = yield from sess.posix.open("/mix", O_WRONLY, create=True)
+        yield from sess.posix.write(fd, 4, data=b"via1")
+        yield from sess.posix.close(fd)
+        # The handle view sees the file the posix view wrote.
+        h = yield from sess.handles.lookup(sess.handles.root, "mix")
+        data = yield from sess.handles.read(h, 0, 4)
+        return data
+
+    assert dep.run(scenario()) == b"via1"
+
+
+def test_session_with_policy_overrides_rpc_policy():
+    dep = deploy()
+    tight = CallPolicy(timeout=1.5, attempts=3, backoff=0.1)
+    sess = connect(dep, "c00").with_policy(tight)
+    assert sess.policy is tight
+    assert sess.client.rpc.policy is tight
+
+
+def test_posix_open_accepts_int_and_string_flags():
+    dep = deploy()
+    fs = PosixAPI(dep.client_on("c00"))
+
+    def scenario():
+        fd = yield from fs.open("/flags", "w", create=True)
+        yield from fs.write(fd, 2, data=b"ok")
+        yield from fs.close(fd)
+        fd = yield from fs.open("/flags", O_RDONLY)
+        data = yield from fs.read(fd, 2)
+        yield from fs.close(fd)
+        fd = yield from fs.open("/flags", "r")
+        same = yield from fs.read(fd, 2)
+        yield from fs.close(fd)
+        return data, same
+
+    assert dep.run(scenario()) == (b"ok", b"ok")
+
+
+def test_posix_open_rejects_unknown_flags():
+    dep = deploy()
+    fs = PosixAPI(dep.client_on("c00"))
+
+    def scenario():
+        with pytest.raises(ValueError, match="bad flags"):
+            yield from fs.open("/x", 42)
+        if False:
+            yield  # make this a generator for dep.run
+
+    dep.run(scenario())
+
+
+# ----------------------------------------------------------- error surface
+def test_missing_file_raises_not_found():
+    dep = deploy()
+    sess = connect(dep, "c00")
+
+    def scenario():
+        with pytest.raises(NotFoundError):
+            yield from sess.client.stat("/ghost")
+
+    dep.run(scenario())
+
+
+def test_create_existing_raises_conflict():
+    dep = deploy()
+    sess = connect(dep, "c00")
+
+    def scenario():
+        yield from sess.client.create("/dup")
+        with pytest.raises(ConflictError):
+            yield from sess.client.create("/dup")
+
+    dep.run(scenario())
+
+
+def test_commit_conflict_is_a_conflict_error():
+    assert CommitConflict is ConflictError
+    assert issubclass(ConflictError, SorrentoError)
+    assert issubclass(NotFoundError, SorrentoError)
+
+
+def test_handle_ids_are_per_instance():
+    dep = deploy()
+    one = HandleAPI(dep.client_on("c00"))
+    two = HandleAPI(dep.client_on("c01"))
+    # Each API mints its own reproducible sequence starting at the root.
+    assert one.root.hid == 1
+    assert two.root.hid == 1

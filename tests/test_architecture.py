@@ -142,3 +142,32 @@ def test_only_the_runtime_layer_touches_the_raw_endpoint():
     assert offenders == [], (
         "raw Endpoint RPC calls outside repro/runtime/: " + ", ".join(offenders)
     )
+
+
+def test_fault_injection_goes_through_the_fault_plane():
+    """Experiments (and the other application-level packages) must inject
+    faults declaratively via ``repro.faults`` — a ``FaultPlan`` executed by
+    a ``FaultController`` — never by ad-hoc calls into the substrate's
+    crash/partition/degrade hooks.  That keeps every injected fault on the
+    sim RNG, in the metrics timeline, and replayable."""
+    fault_methods = {
+        "crash", "crash_provider", "restart", "restart_provider",
+        "partition", "heal", "degrade_link", "restore_link",
+        "restore_all_links", "set_disk_fault", "clear_disk_fault",
+        "set_fault", "clear_fault",
+    }
+    scanned = {"experiments", "workloads", "tools", "api", "baselines"}
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        if path.relative_to(SRC).parts[0] not in scanned:
+            continue
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        for node in ast.walk(ast.parse(path.read_text())):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in fault_methods):
+                offenders.append(f"{mod}:{node.lineno} calls "
+                                 f".{node.func.attr}()")
+    assert offenders == [], (
+        "ad-hoc fault injection outside repro.faults: " + ", ".join(offenders)
+    )

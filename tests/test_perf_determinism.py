@@ -75,3 +75,91 @@ def test_matches_pre_optimization_golden():
 def test_different_seed_actually_differs():
     """Guard against the scenario being degenerate (nothing seeded)."""
     assert run_scenario(seed=11) != run_scenario(seed=12)
+
+
+# ---------------------------------------------------------------- faults
+def run_faulted_scenario(seed=11, n_clients=2, duration=6.0):
+    """The same scenario with an active FaultPlan exercising every hook:
+    a partition that heals, a lossy/duplicating/jittery link, a slow disk
+    that errors, and a crash/restart — all drawn from named RNG streams."""
+    from repro.faults import (
+        DiskFault,
+        DiskHeal,
+        FaultPlan,
+        Heal,
+        LinkDegrade,
+        LinkRestore,
+        NodeCrash,
+        NodeRestart,
+        Partition,
+        inject,
+    )
+
+    dep = sorrento_on(cluster_a_like(n_storage=4, n_clients=n_clients),
+                      n_providers=4, degree=2, seed=seed, warm=6.0)
+    clients = dep.clients_on_compute(n_clients)
+    dep.run(clients[0].mkdir("/tput"))
+    victims = sorted(dep.providers)
+    spare = victims[-1] if victims[-1] != dep.ns_host else victims[-2]
+    slow = victims[1] if victims[1] != dep.ns_host else victims[2]
+    plan = (FaultPlan()
+            .at(0.5, LinkDegrade(drop=0.05, duplicate=0.1, jitter=0.001))
+            .at(1.0, Partition((spare,)))
+            .at(1.5, DiskFault(slow, error_rate=0.02, slowdown=3.0))
+            .at(2.0, Heal())
+            .at(2.5, NodeCrash(spare))
+            .at(3.5, NodeRestart(spare))
+            .at(4.0, DiskHeal(slow))
+            .at(4.5, LinkRestore()))
+    controller = inject(dep, plan)
+    counter = [0]
+    for i, c in enumerate(clients):
+        dep.sim.process(session_loop(c, f"c{i}", counter, duration))
+    dep.sim.run(until=dep.sim.now + duration + 0.5)
+    return {
+        "clock": round(dep.sim.now, 9),
+        "sessions": counter[0],
+        "messages_sent": dep.fabric.messages_sent,
+        "messages_dropped": dep.fabric.messages_dropped,
+        "messages_duplicated": dep.fabric.messages_duplicated,
+        "fault_events": len(controller.timeline),
+        "metrics_sha256": metrics_digest(dep.metrics),
+        "nprocessed": dep.sim._nprocessed,
+    }
+
+
+#: Recorded when the fault plane landed; a drift here means injected
+#: faults (or the hooks they flow through) changed behaviour.
+GOLDEN_FAULTS = {
+    "clock": 12.509108141,
+    "sessions": 47,
+    "messages_sent": 1041,
+    "messages_dropped": 16,
+    "messages_duplicated": 9,
+    "fault_events": 8,
+    "metrics_sha256":
+        "d840c459cb2b2b77f4a71751f54c34b05a751a5155b020412ecdbb863242f316",
+}
+
+
+def test_fault_plan_replays_identically():
+    """Bit-identical same-seed replay with every fault hook active."""
+    a = run_faulted_scenario()
+    b = run_faulted_scenario()
+    assert a == b
+    assert a["messages_dropped"] > 0
+    assert a["messages_duplicated"] > 0
+
+
+def test_fault_plan_matches_recorded_golden():
+    got = run_faulted_scenario()
+    visible = {k: got[k] for k in GOLDEN_FAULTS}
+    assert visible == GOLDEN_FAULTS
+
+
+def test_inactive_fault_plane_leaves_the_golden_untouched():
+    """Merely having the fault plane importable/installed must not perturb
+    the original scenario: hooks draw no RNG and add no events when idle."""
+    got = run_scenario()
+    visible = {k: got[k] for k in GOLDEN}
+    assert visible == GOLDEN
