@@ -49,11 +49,33 @@ def reduced_fig10(n_clients: int = 6, duration: float = 8.0,
 
 def run_macro_suite(smoke: bool = False, repeat: int = 1,
                     verbose: bool = True) -> Dict[str, Dict]:
+    from repro.bench.datapath_bench import locate_storm, stripe_readwrite
     from repro.bench.harness import run_suite
 
     if smoke:
-        benches = {"fig10_reduced": lambda: reduced_fig10(
-            n_clients=2, duration=1.5, n_storage=4)}
+        benches = {
+            "fig10_reduced": lambda: reduced_fig10(
+                n_clients=2, duration=1.5, n_storage=4),
+            "locate_storm": lambda: locate_storm(
+                n_clients=2, rounds=2, reads_per_round=8, n_storage=4),
+            "locate_storm_nocache": lambda: locate_storm(
+                cached=False, n_clients=2, rounds=2, reads_per_round=8,
+                n_storage=4),
+            "stripe_readwrite": lambda: stripe_readwrite(
+                n_clients=1, rounds=2),
+            "stripe_readwrite_nocache": lambda: stripe_readwrite(
+                cached=False, n_clients=1, rounds=2),
+        }
     else:
-        benches = {"fig10_reduced": lambda: reduced_fig10()}
+        benches = {
+            "fig10_reduced": lambda: reduced_fig10(),
+            # The *_nocache twins replay the seed data path (caches and
+            # vectoring off) so every entry records before/after RPC
+            # counts side by side.
+            "locate_storm": lambda: locate_storm(),
+            "locate_storm_nocache": lambda: locate_storm(cached=False),
+            "stripe_readwrite": lambda: stripe_readwrite(),
+            "stripe_readwrite_nocache": lambda: stripe_readwrite(
+                cached=False),
+        }
     return run_suite(benches, repeat=repeat, verbose=verbose)

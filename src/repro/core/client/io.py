@@ -3,12 +3,18 @@
 Covers Figure 6's read path, the attached small-file fast path
 (Section 3.2), the versioning-off in-place path (Section 3.5), and the
 Figure 4 atomic-append recipe.
+
+Reads and writes are *vectored*: the layout's pieces are grouped by
+resolved owner and each group travels as one ``seg_read_vec`` /
+``seg_write_vec`` RPC.  Per-piece status in the reply lets a partial
+failure degrade to the single-piece retry path (``_read_piece_single``,
+``_write_piece_single``) — the only places, besides the exact-version
+scan in ``_load_index``, that still issue scalar ``seg_read``/``seg_write``.
 """
 
 from __future__ import annotations
 
-import copy
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.client.handle import (
     CommitConflict,
@@ -22,6 +28,9 @@ from repro.core.client.handle import (
 )
 from repro.network.message import RpcRemoteError, RpcTimeout
 from repro.sim import gather
+
+#: seg_idx -> (owner, version) resolution for a batch of layout pieces.
+OwnerMap = Dict[int, Tuple[str, int]]
 
 
 class DataPathMixin:
@@ -43,17 +52,31 @@ class DataPathMixin:
             raise SorrentoError("historical versions are read-only")
         self.stats["opens"] += 1
         yield self.node.cpu(self.params.client_op_cpu)
-        try:
-            entry = yield from self._call_ns(
-                "ns_lookup", path, rtts=self.params.open_rtts)
-        except NotFoundError:
-            if not (create and mode == "w"):
-                raise
+        # Plain read opens may reuse a recently-seen namespace entry; any
+        # write-mode, historical, or unlink-bound open always asks the
+        # namespace server (a stale base version would surface as spurious
+        # commit conflicts, not just a stale snapshot).
+        entry = None
+        cacheable = (mode == "r" and version is None and not meta_only
+                     and self.params.entry_cache_enabled)
+        if cacheable:
+            entry = self.entry_cache.get(path, self.sim.now)
+            self._cache_note("entry_hits" if entry is not None
+                             else "entry_misses")
+        if entry is None:
             try:
-                entry = yield from self.create(path, **create_params)
-            except ConflictError:
-                # Lost a create race: the other writer's entry is ours too.
-                entry = yield from self._call_ns("ns_lookup", path)
+                entry = yield from self._call_ns(
+                    "ns_lookup", path, rtts=self.params.open_rtts)
+            except NotFoundError:
+                if not (create and mode == "w"):
+                    raise
+                try:
+                    entry = yield from self.create(path, **create_params)
+                except ConflictError:
+                    # Lost a create race: the other writer's entry is ours too.
+                    entry = yield from self._call_ns("ns_lookup", path)
+            if self.params.entry_cache_enabled:
+                self.entry_cache.put(path, entry, self.sim.now)
         if version is not None:
             if not 0 < version <= entry["version"]:
                 raise NotFoundError(
@@ -77,10 +100,26 @@ class DataPathMixin:
         ``entry["version"]`` of the index segment (retrying briefly while
         propagation is in flight) — otherwise a reopen right after a
         commit could resurrect a stale layout and lose that commit.
+
+        The version gate is also what makes the index-meta cache safe: a
+        cached meta is only used when it matches the entry version
+        exactly, so staleness shows up as a miss, never as wrong data.
+        (Versioning-off files rewrite their index at version 1 forever,
+        which defeats the gate — they always fetch fresh.)
         """
         want = fh.entry["version"]
         meta = None
+        use_meta_cache = self.params.meta_cache_enabled and fh.versioning
+        if use_meta_cache:
+            cached = self.meta_cache.get(fh.fileid, self.sim.now)
+            if cached is not None and cached[0] == want:
+                self._cache_note("meta_hits")
+                meta, fh.index_owner = cached[1], cached[2]
+            else:
+                self._cache_note("meta_misses")
         for attempt in range(6):
+            if meta is not None:
+                break
             resp = yield from self._locate(
                 fh.fileid,
                 read={"offset": 0, "length": self.params.attach_max + 256,
@@ -103,6 +142,7 @@ class DataPathMixin:
                     )
                 except (RpcTimeout, RpcRemoteError):
                     continue
+                self._learn_hint(fh.fileid, r)
                 meta = r["meta"]
                 fh.index_owner = owner
                 break
@@ -113,7 +153,10 @@ class DataPathMixin:
             raise TimeoutError(
                 f"index segment of {fh.path} v{want} unavailable"
             )
-        fh.layout = copy.deepcopy(meta["layout"])
+        if use_meta_cache:
+            self.meta_cache.put(fh.fileid, (want, meta, fh.index_owner),
+                                self.sim.now)
+        fh.layout = meta["layout"].clone()
         fh.attached_len = meta.get("attached_len", 0)
         fh.attached = meta.get("attached")
 
@@ -133,44 +176,135 @@ class DataPathMixin:
                 return None
             return fh.attached[offset:offset + length]
         pieces = fh.layout.locate(offset, length)
-        reads = [self._read_piece(fh, seg_idx, seg_off, n, sequential)
-                 for seg_idx, seg_off, n in pieces]
-        chunks = yield from gather(self.sim, reads)
+        chunks = yield from self._read_pieces(fh, pieces, sequential)
         if any(c is None for c in chunks):
             return None
         return b"".join(chunks)
 
-    def _read_piece(self, fh: FileHandle, seg_idx: int, seg_off: int,
-                    length: int, sequential: bool):
+    def _resolve_read_owners(self, fh: FileHandle, pieces) -> OwnerMap:
+        """(owner, version) per segment index: session state first (shadow
+        copies, segments created this session), then the location cache /
+        home host — parallel lookups for the distinct unresolved SegIDs."""
+        owners: OwnerMap = {}
+        unresolved: List[int] = []
+        for seg_idx in dict.fromkeys(p[0] for p in pieces):
+            ref = fh.layout.segments[seg_idx]
+            shadow = fh.shadows.get(ref.segid)
+            if shadow is not None:
+                owners[seg_idx] = shadow
+            elif ref.segid in fh.new_segments:
+                owners[seg_idx] = (fh.new_segments[ref.segid], 1)
+            else:
+                unresolved.append(seg_idx)
+        if unresolved:
+            resps = yield from gather(self.sim, [
+                self._locate(fh.layout.segments[s].segid)
+                for s in unresolved
+            ])
+            for seg_idx, resp in zip(unresolved, resps):
+                ref = fh.layout.segments[seg_idx]
+                owner, _have = self._pick_owner(resp["owners"])
+                # Read exactly the version the index names (snapshot
+                # isolation); the table may advertise newer or older.
+                owners[seg_idx] = (owner, ref.version)
+        return owners
+
+    def _read_pieces(self, fh: FileHandle, pieces, sequential: bool):
+        """Fetch pieces grouped by owner; returns chunks in piece order."""
+        owners = yield from self._resolve_read_owners(fh, pieces)
+        chunks: List[Optional[bytes]] = [None] * len(pieces)
+        if not self.params.vectored_io:
+            def scalar(i):
+                chunks[i] = yield from self._read_piece_single(
+                    fh, pieces[i], owners[pieces[i][0]], sequential)
+
+            yield from gather(self.sim,
+                              [scalar(i) for i in range(len(pieces))])
+            return chunks
+        groups: Dict[str, List[int]] = {}
+        for i, piece in enumerate(pieces):
+            groups.setdefault(owners[piece[0]][0], []).append(i)
+
+        def fetch_group(owner: str, idxs: List[int]):
+            if len(idxs) == 1:
+                i = idxs[0]
+                chunks[i] = yield from self._read_piece_single(
+                    fh, pieces[i], owners[pieces[i][0]], sequential)
+                return
+            reqs = []
+            for i in idxs:
+                seg_idx, seg_off, n = pieces[i]
+                ref = fh.layout.segments[seg_idx]
+                reqs.append({"segid": ref.segid,
+                             "version": owners[seg_idx][1],
+                             "offset": seg_off, "length": n})
+            try:
+                r = yield from self.rpc.call(
+                    owner, "seg_read_vec",
+                    {"pieces": reqs, "sequential": sequential},
+                    size=64 + 16 * len(reqs),
+                )
+            except (RpcTimeout, RpcRemoteError):
+                # The whole group failed (owner dead/unreachable): drop
+                # its cached claims and recover piece by piece.
+                self.loc_cache.evict_owner(owner)
+                for i in idxs:
+                    chunks[i] = yield from self._read_piece_fallback(
+                        fh, pieces[i], sequential)
+                return
+            self._cache_note("vec_rpcs")
+            self._cache_note("vec_pieces", len(idxs))
+            for i, pr in zip(idxs, r["pieces"]):
+                segid = fh.layout.segments[pieces[i][0]].segid
+                if pr.get("ok"):
+                    self._learn_hint(segid, pr)
+                    chunks[i] = pr["data"]
+                else:
+                    # Partial failure (version gone, disk error): the
+                    # single-piece retry path takes over for this piece.
+                    self._evict_location(segid)
+                    chunks[i] = yield from self._read_piece_fallback(
+                        fh, pieces[i], sequential)
+
+        yield from gather(self.sim, [
+            fetch_group(owner, idxs) for owner, idxs in groups.items()
+        ])
+        return chunks
+
+    def _read_piece_single(self, fh: FileHandle, piece,
+                           ov: Tuple[str, int], sequential: bool):
+        """Scalar read of one piece (single-owner groups + cache-off mode)."""
+        seg_idx, seg_off, n = piece
         ref = fh.layout.segments[seg_idx]
-        shadow = fh.shadows.get(ref.segid)
-        if shadow is not None:
-            owner, version = shadow
-        elif ref.segid in fh.new_segments:
-            owner, version = fh.new_segments[ref.segid], 1
-        else:
-            owner, version = None, ref.version
-        if owner is None:
-            # Read exactly the version the index names (snapshot isolation);
-            # the location table may advertise newer or older replicas.
-            resp = yield from self._locate(ref.segid)
-            owner, _have = self._pick_owner(resp["owners"])
+        owner, version = ov
         try:
             r = yield from self.rpc.call(
                 owner, "seg_read",
                 {"segid": ref.segid, "version": version, "offset": seg_off,
-                 "length": length, "sequential": sequential},
+                 "length": n, "sequential": sequential},
                 size=64,
             )
         except (RpcTimeout, RpcRemoteError):
-            # Owner died or lacks the version: fall back to a fresh lookup.
-            other = yield from self._probe(ref.segid)
-            r = yield from self.rpc.call(
-                other[0], "seg_read",
-                {"segid": ref.segid, "version": None, "offset": seg_off,
-                 "length": length, "sequential": sequential},
-                size=64,
-            )
+            chunk = yield from self._read_piece_fallback(fh, piece, sequential)
+            return chunk
+        self._learn_hint(ref.segid, r)
+        return r["data"]
+
+    def _read_piece_fallback(self, fh: FileHandle, piece, sequential: bool):
+        """Owner died or lacks the version: evict the cached claim, probe
+        over multicast (Section 3.4.2), and read whatever version the
+        responding owner holds."""
+        seg_idx, seg_off, n = piece
+        ref = fh.layout.segments[seg_idx]
+        self._evict_location(ref.segid)
+        other = yield from self._probe(ref.segid)
+        r = yield from self.rpc.call(
+            other[0], "seg_read",
+            {"segid": ref.segid, "version": None, "offset": seg_off,
+             "length": n, "sequential": sequential},
+            size=64,
+        )
+        self._learn_hint(ref.segid, r)
         return r["data"]
 
     # ============================================================== write
@@ -210,34 +344,109 @@ class DataPathMixin:
         # Resolve each distinct segment's writable version first (serially)
         # so the parallel piece writes below never race to create the same
         # shadow or striped segment.
+        owners: OwnerMap = {}
         for seg_idx in dict.fromkeys(p[0] for p in pieces):
-            yield from self._writable_version(fh, fh.layout.segments[seg_idx])
-        writes, pos = [], 0
+            owners[seg_idx] = yield from self._writable_version(
+                fh, fh.layout.segments[seg_idx])
+        yield from self._write_pieces(fh, pieces, data, owners, sequential)
+
+    def _write_pieces(self, fh: FileHandle, pieces, data: Optional[bytes],
+                      owners: OwnerMap, sequential: bool,
+                      in_place: bool = False):
+        """Push pieces grouped by owner, one seg_write_vec per group."""
+        spans, pos = [], 0
         for seg_idx, seg_off, n in pieces:
             chunk = data[pos:pos + n] if data is not None else None
             pos += n
-            writes.append(self._write_piece(fh, seg_idx, seg_off, n, chunk,
-                                            sequential))
-        yield from gather(self.sim, writes)
+            spans.append((seg_idx, seg_off, n, chunk))
+        if not self.params.vectored_io:
+            yield from gather(self.sim, [
+                self._write_piece_single(fh, span, owners[span[0]],
+                                         sequential, in_place)
+                for span in spans
+            ])
+            return
+        groups: Dict[str, List[int]] = {}
+        for i, span in enumerate(spans):
+            groups.setdefault(owners[span[0]][0], []).append(i)
 
-    def _write_piece(self, fh: FileHandle, seg_idx: int, seg_off: int,
-                     length: int, data: Optional[bytes], sequential: bool):
+        def push_group(owner: str, idxs: List[int]):
+            if len(idxs) == 1:
+                span = spans[idxs[0]]
+                yield from self._write_piece_single(
+                    fh, span, owners[span[0]], sequential, in_place)
+                return
+            reqs, nbytes = [], 0
+            for i in idxs:
+                seg_idx, seg_off, n, chunk = spans[i]
+                req = {"segid": fh.layout.segments[seg_idx].segid,
+                       "version": owners[seg_idx][1],
+                       "offset": seg_off, "length": n, "data": chunk}
+                if in_place:
+                    req["in_place"] = True
+                reqs.append(req)
+                nbytes += n
+            try:
+                r = yield from self.rpc.call(
+                    owner, "seg_write_vec", {"pieces": reqs},
+                    size=64 + nbytes + 16 * len(reqs),
+                )
+            except RpcTimeout as exc:
+                self.loc_cache.evict_owner(owner)
+                if in_place:
+                    raise
+                # The shadows' owner died mid-session: the write (and the
+                # whole session) cannot complete; the shadow TTL cleans up.
+                for i in idxs:
+                    fh.shadows.pop(fh.layout.segments[spans[i][0]].segid,
+                                   None)
+                first = fh.layout.segments[spans[idxs[0]][0]].segid
+                raise TimeoutError(
+                    f"owner of segment {first:#x} died mid-write: {exc}"
+                ) from exc
+            self._cache_note("vec_rpcs")
+            self._cache_note("vec_pieces", len(idxs))
+            for i, pr in zip(idxs, r["pieces"]):
+                segid = fh.layout.segments[spans[i][0]].segid
+                if pr.get("ok"):
+                    self._learn_hint(segid, pr)
+                else:
+                    # Per-piece failure degrades to the scalar path, which
+                    # raises exactly what a scalar write would have.
+                    self._evict_location(segid)
+                    span = spans[i]
+                    yield from self._write_piece_single(
+                        fh, span, owners[span[0]], sequential, in_place)
+
+        yield from gather(self.sim, [
+            push_group(owner, idxs) for owner, idxs in groups.items()
+        ])
+
+    def _write_piece_single(self, fh: FileHandle, span,
+                            ov: Tuple[str, int], sequential: bool,
+                            in_place: bool = False):
+        """Scalar write of one piece (single-owner groups + retry path)."""
+        seg_idx, seg_off, n, chunk = span
         ref = fh.layout.segments[seg_idx]
-        owner, version = yield from self._writable_version(fh, ref)
+        owner, version = ov
+        req = {"segid": ref.segid, "version": version, "offset": seg_off,
+               "length": n, "data": chunk}
+        if in_place:
+            req["in_place"] = True
         try:
-            yield from self.rpc.call(
-                owner, "seg_write",
-                {"segid": ref.segid, "version": version, "offset": seg_off,
-                 "length": length, "data": data},
-                size=64 + length,
-            )
+            r = yield from self.rpc.call(owner, "seg_write", req,
+                                         size=64 + n)
         except RpcTimeout as exc:
+            self.loc_cache.evict_owner(owner)
+            if in_place:
+                raise
             # The shadow's owner died mid-session: the write (and the
             # whole session) cannot complete; the shadow TTL cleans up.
             fh.shadows.pop(ref.segid, None)
             raise TimeoutError(
                 f"owner of segment {ref.segid:#x} died mid-write: {exc}"
             ) from exc
+        self._learn_hint(ref.segid, r)
 
     def _spill_attached(self, fh: FileHandle):
         """An attached file outgrew 60 KB: move its bytes into a real
@@ -247,10 +456,12 @@ class DataPathMixin:
         created = fh.layout.grow_to(n, self.ids.new_id)
         for ref in created:
             yield from self._create_segment(fh, ref)
-        for seg_idx, seg_off, ln in fh.layout.locate(0, n):
-            ref = fh.layout.segments[seg_idx]
-            chunk = payload[seg_off:seg_off + ln] if payload is not None else None
-            yield from self._write_piece(fh, seg_idx, seg_off, ln, chunk, True)
+        pieces = fh.layout.locate(0, n)
+        owners: OwnerMap = {}
+        for seg_idx in dict.fromkeys(p[0] for p in pieces):
+            owners[seg_idx] = yield from self._writable_version(
+                fh, fh.layout.segments[seg_idx])
+        yield from self._write_pieces(fh, pieces, payload, owners, True)
 
     # ================================================ versioning-off path
     def truncate(self, fh: FileHandle, size: int):
@@ -299,14 +510,25 @@ class DataPathMixin:
             yield from self._grow_in_place(fh, end)
         finally:
             lock.release()
-        writes, pos = [], 0
-        for seg_idx, seg_off, n in fh.layout.locate(offset, length):
+        pieces = fh.layout.locate(offset, length)
+        owners: OwnerMap = {}
+        unresolved: List[int] = []
+        for seg_idx in dict.fromkeys(p[0] for p in pieces):
             ref = fh.layout.segments[seg_idx]
-            chunk = data[pos:pos + n] if data is not None else None
-            pos += n
-            writes.append(self._unversioned_piece(fh, ref, seg_off, n, chunk,
-                                                  sequential))
-        yield from gather(self.sim, writes)
+            if ref.segid in fh.new_segments:
+                owners[seg_idx] = (fh.new_segments[ref.segid], 1)
+            else:
+                unresolved.append(seg_idx)
+        if unresolved:
+            resps = yield from gather(self.sim, [
+                self._locate(fh.layout.segments[s].segid)
+                for s in unresolved
+            ])
+            for seg_idx, resp in zip(unresolved, resps):
+                owner, _v = self._pick_owner(resp["owners"])
+                owners[seg_idx] = (owner, 1)
+        yield from self._write_pieces(fh, pieces, data, owners, sequential,
+                                      in_place=True)
 
     def _grow_in_place(self, fh: FileHandle, end: int):
         if end > fh.layout.size:
@@ -317,23 +539,9 @@ class DataPathMixin:
             # Unversioned layout changes publish immediately via the index.
             yield from self._publish_unversioned_index(fh)
 
-    def _unversioned_piece(self, fh: FileHandle, ref, seg_off: int, n: int,
-                           data, sequential: bool):
-        if ref.segid in fh.new_segments:
-            owner = fh.new_segments[ref.segid]
-        else:
-            resp = yield from self._locate(ref.segid)
-            owner, _ = self._pick_owner(resp["owners"])
-        yield from self.rpc.call(
-            owner, "seg_write",
-            {"segid": ref.segid, "version": 1, "offset": seg_off,
-             "length": n, "data": data, "in_place": True},
-            size=64 + n,
-        )
-
     def _publish_unversioned_index(self, fh: FileHandle):
         """Keep the unversioned file's index segment current (v1 rewrite)."""
-        meta = {"layout": copy.deepcopy(fh.layout),
+        meta = {"layout": fh.layout.clone(),
                 "attached": None, "attached_len": 0}
         if fh.index_owner is None:
             owner = self._place_new_segment(fh.fileid, 4096, fh.entry["alpha"])
@@ -344,6 +552,7 @@ class DataPathMixin:
                 size=_meta_size(meta),
             )
             fh.index_owner = owner
+            self.loc_cache.learn(fh.fileid, owner, 1, self.sim.now)
             if fh.entry["version"] == 0:
                 yield from self._ns_commit_cycle(fh)
         else:
@@ -372,6 +581,8 @@ class DataPathMixin:
             "ns_complete_commit", {"path": fh.path, "new_version": 1}, size=96)
         fh.entry = entry
         fh.base_version = 1
+        if self.params.entry_cache_enabled:
+            self.entry_cache.put(fh.path, entry, self.sim.now)
 
     # ============================================================== unlink
     def unlink(self, path: str):
@@ -385,13 +596,20 @@ class DataPathMixin:
         fh = yield from self.open(path, "r", meta_only=True)
         entry = yield from self._call_ns("ns_unlink", path)
         segids = [ref.segid for ref in fh.layout.segments] + [entry["fileid"]]
+        # The file is gone: drop every cached trace of it (organic
+        # invalidation, not staleness — no counter).
+        self.entry_cache.evict(path)
+        self.meta_cache.evict(entry["fileid"])
+        for segid in segids:
+            self.loc_cache.evict(segid)
         deletions = [self._delete_everywhere(segid) for segid in segids]
         yield from gather(self.sim, deletions)
         return entry
 
     def _delete_everywhere(self, segid: int):
         try:
-            resp = yield from self._locate(segid)
+            # Deletion must see the full owner list, not a cached subset.
+            resp = yield from self._locate(segid, refresh=True)
         except SorrentoError:
             return
         owners = {h for h, _ in resp["owners"]}

@@ -40,20 +40,50 @@ class PlacementMixin:
         if ev is not None and not ev.triggered:
             ev.succeed((payload["owner"], payload["version"]))
 
-    def _locate(self, segid: int, read: Optional[dict] = None):
-        """Find a segment's owners via its home host (Section 3.4.1);
-        fall back to the multicast query (Section 3.4.2) on failure."""
+    def _locate(self, segid: int, read: Optional[dict] = None,
+                refresh: bool = False):
+        """Find a segment's owners: the per-client cache first, then the
+        home host (Section 3.4.1), then the multicast query (Section
+        3.4.2) as the backup scheme.
+
+        ``read`` requests inline service and always goes to the home host
+        (the cache cannot serve data).  ``refresh`` bypasses the cache for
+        flows that need the full owner list (unlink, sync, pin) or that
+        just proved a cached entry wrong.
+        """
+        if read is None and not refresh and self.params.loc_cache_enabled:
+            owners = self.loc_cache.lookup(segid, self.sim.now)
+            if owners:
+                self._cache_note("loc_hits")
+                return {"owners": owners, "inline": None, "cached": True}
+            self._cache_note("loc_misses")
         home = self._home_of(segid)
         try:
             resp = yield from self.rpc.call(
                 home, "loc_lookup", {"segid": segid, "read": read}, size=64,
             )
             if resp["owners"] or resp["inline"]:
+                self.loc_cache.store(segid, resp["owners"], self.sim.now)
                 return resp
         except (RpcTimeout, RpcRemoteError):
             pass
         owner = yield from self._probe(segid)
+        self.loc_cache.store(segid, [owner], self.sim.now)
         return {"owners": [owner], "inline": None}
+
+    def _evict_location(self, segid: int, stale: bool = True) -> None:
+        """A cached claim was proven wrong (version mismatch / dead owner):
+        drop it so the next lookup goes back to the home host."""
+        if self.loc_cache.evict(segid) and stale:
+            self._cache_note("loc_stale")
+
+    def _learn_hint(self, segid: int, resp: Optional[dict]) -> None:
+        """Fold a reply's piggybacked owner hint into the location cache."""
+        if not self.params.loc_cache_enabled or not resp:
+            return
+        hint = resp.get("hint")
+        if hint:
+            self.loc_cache.learn_hint(segid, hint, self.sim.now)
 
     def _probe(self, segid: int):
         """Backup scheme: ask everybody over multicast."""
@@ -70,10 +100,14 @@ class PlacementMixin:
         return ev.value
 
     def _pick_owner(self, owners: List[Tuple[str, int]]) -> Tuple[str, int]:
-        """Choose among the newest-version owners at random (load spread)."""
+        """Choose among the newest-version owners at random (load spread).
+
+        The newest version is computed explicitly: home-host lookups sort
+        newest-first, but probe results and cache merges need not.
+        """
         if not owners:
             raise NotFoundError("segment has no owners")
-        newest = owners[0][1]
+        newest = max(o[1] for o in owners)
         best = [o for o in owners if o[1] == newest]
         return self.rng.choice(best)
 
@@ -158,6 +192,8 @@ class PlacementMixin:
                 continue
             fh.new_segments[ref.segid] = owner
             fh.affinity_owner = owner
+            if committed:
+                self.loc_cache.learn(ref.segid, owner, 1, self.sim.now)
             return owner
         raise TimeoutError(
             f"cannot place segment {ref.segid:#x}: {last}"

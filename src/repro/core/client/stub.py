@@ -12,8 +12,10 @@ from repro.core.client.placement import PlacementMixin
 from repro.core.client.versioning import VersioningMixin
 from repro.core.hashing import HashRing
 from repro.core.ids import IdGenerator
+from repro.core.location import ClientLocationCache, TtlCache
 from repro.core.membership import MembershipManager
 from repro.core.params import SorrentoParams
+from repro.runtime import CACHE
 from repro.sim import Event
 
 
@@ -52,7 +54,38 @@ class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
         if "loc_probe_hit" not in self.rpc.handlers:
             self.rpc.register("loc_probe_hit", self._on_probe_hit)
         self.stats = {"opens": 0, "reads": 0, "writes": 0, "commits": 0,
-                      "conflicts": 0, "probe_fallbacks": 0}
+                      "conflicts": 0, "probe_fallbacks": 0,
+                      "loc_hits": 0, "loc_misses": 0, "loc_stale": 0,
+                      "entry_hits": 0, "entry_misses": 0,
+                      "meta_hits": 0, "meta_misses": 0,
+                      "vec_rpcs": 0, "vec_pieces": 0}
+        # The caching-and-batching plane: location/entry/meta caches plus
+        # the membership hook that evicts a dead owner's claims.
+        self.loc_cache = ClientLocationCache(self.params.loc_cache_ttl,
+                                             self.params.loc_cache_capacity)
+        self.entry_cache = TtlCache(self.params.entry_cache_ttl,
+                                    self.params.entry_cache_capacity)
+        self.meta_cache = TtlCache(self.params.meta_cache_ttl,
+                                   self.params.meta_cache_capacity)
+        self.membership.on_leave.append(self._on_member_death)
+
+    # -------------------------------------------------------- cache plane
+    def _cache_note(self, counter: str, n: int = 1) -> None:
+        """Count a cache event both locally and in the deployment registry
+        (scope "cache"), where it lands in metrics_rows next to the RPCs
+        it saved."""
+        self.stats[counter] += n
+        registry = self.rpc.registry
+        if registry is not None:
+            cell = registry.stats(CACHE, counter)
+            for _ in range(n):
+                cell.observe_oneway()
+
+    def _on_member_death(self, hostid: str) -> None:
+        """Membership death event: drop every cached claim by the node."""
+        evicted = self.loc_cache.evict_owner(hostid)
+        if evicted:
+            self._cache_note("loc_stale", evicted)
 
     # ------------------------------------------------------------- misc
     @staticmethod

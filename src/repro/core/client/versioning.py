@@ -6,7 +6,6 @@ detection, milestones, and the synchronous-commitment option of §3.6.
 
 from __future__ import annotations
 
-import copy
 from typing import Optional
 
 from repro.core.client.handle import (
@@ -38,32 +37,40 @@ class VersioningMixin:
             owner = yield from self._create_segment(fh, ref)
             return owner, 1
         resp = yield from self._locate(ref.segid)
-        owners = resp["owners"]
         last_error: Optional[Exception] = None
-        saw_race = False
-        for owner, _v in owners or []:
-            try:
-                r = yield from self.rpc.call(
-                    owner, "seg_create_shadow",
-                    {"segid": ref.segid, "base_version": ref.version},
-                    size=64,
+        for round_ in range(2):
+            saw_race = False
+            for owner, _v in resp["owners"] or []:
+                try:
+                    r = yield from self.rpc.call(
+                        owner, "seg_create_shadow",
+                        {"segid": ref.segid, "base_version": ref.version},
+                        size=64,
+                    )
+                    fh.shadows[ref.segid] = (owner, r["version"])
+                    fh.affinity_owner = owner
+                    return owner, r["version"]
+                except RpcRemoteError as exc:
+                    # Another writer already shadows base+1 on this owner: a
+                    # write-write race surfaced early (it would conflict at
+                    # commit anyway).
+                    if "exists" in str(exc).lower():
+                        saw_race = True
+                    last_error = exc
+                except RpcTimeout as exc:
+                    last_error = exc
+            if saw_race:
+                raise CommitConflict(
+                    f"segment {ref.segid:#x} already shadowed by another "
+                    f"writer"
                 )
-                fh.shadows[ref.segid] = (owner, r["version"])
-                fh.affinity_owner = owner
-                return owner, r["version"]
-            except RpcRemoteError as exc:
-                # Another writer already shadows base+1 on this owner: a
-                # write-write race surfaced early (it would conflict at
-                # commit anyway).
-                if "exists" in str(exc).lower():
-                    saw_race = True
-                last_error = exc
-            except RpcTimeout as exc:
-                last_error = exc
-        if saw_race:
-            raise CommitConflict(
-                f"segment {ref.segid:#x} already shadowed by another writer"
-            )
+            if round_ == 0 and resp.get("cached"):
+                # Every cached owner refused or vanished: the claims were
+                # stale.  Drop them and retry once against the real table.
+                self._evict_location(ref.segid)
+                resp = yield from self._locate(ref.segid, refresh=True)
+                continue
+            break
         raise SorrentoError(
             f"cannot shadow segment {ref.segid:#x}: {last_error}"
         )
@@ -139,6 +146,21 @@ class VersioningMixin:
             for ref in fh.layout.segments:
                 if ref.segid == segid:
                     ref.version = version
+        # The just-committed versions are the freshest location knowledge
+        # anywhere: seed the caches so the next session (ours or a reopen)
+        # skips the lookup roundtrips entirely.
+        if self.params.loc_cache_enabled:
+            now = self.sim.now
+            for segid, (owner, version) in fh.shadows.items():
+                self.loc_cache.learn(segid, owner, version, now)
+            for segid, owner in fh.new_segments.items():
+                self.loc_cache.learn(segid, owner, 1, now)
+            self.loc_cache.learn(fh.fileid, index_owner, index_version, now)
+        if self.params.entry_cache_enabled:
+            self.entry_cache.put(fh.path, entry, self.sim.now)
+        if self.params.meta_cache_enabled and fh.versioning:
+            self.meta_cache.put(fh.fileid, (new_version, meta, index_owner),
+                                self.sim.now)
         fh.shadows.clear()
         fh.new_segments.clear()
         fh.dirty = False
@@ -154,7 +176,8 @@ class VersioningMixin:
     def _sync_replicas(self, committed):
         def sync_one(segid, owner, version):
             try:
-                resp = yield from self._locate(segid)
+                # Syncing must see the full replica list, not a cached one.
+                resp = yield from self._locate(segid, refresh=True)
             except SorrentoError:
                 return
             stale = [h for h, v in resp["owners"]
@@ -173,7 +196,7 @@ class VersioningMixin:
         ])
 
     def _committed_layout(self, fh: FileHandle) -> Layout:
-        layout = copy.deepcopy(fh.layout)
+        layout = fh.layout.clone()
         for ref in layout.segments:
             shadow = fh.shadows.get(ref.segid)
             if shadow is not None:
@@ -203,23 +226,45 @@ class VersioningMixin:
             return owner, 1
         owner = fh.index_owner
         if owner is None:
-            resp = yield from self._locate(fh.fileid)
+            # A stale cached index owner would surface here as a spurious
+            # "index already advanced" conflict — always ask the table.
+            resp = yield from self._locate(fh.fileid, refresh=True)
             owner, _ = self._pick_owner(resp["owners"])
-        try:
-            r = yield from self.rpc.call(
-                owner, "seg_create_shadow",
-                {"segid": fh.fileid, "base_version": fh.base_version},
-                size=64,
-            )
-        except RpcRemoteError as exc:
-            if "exists" in str(exc).lower() or "no committed base" in str(exc):
-                # Our base version is stale (someone committed past us) or
-                # another writer already shadows it: a commit conflict.
-                yield from self._abort_shadows(fh, owner, fh.base_version + 1)
-                self.stats["conflicts"] += 1
-                raise CommitConflict(f"{fh.path}: index already advanced") from exc
-            raise
-        return owner, r["version"]
+        for round_ in range(2):
+            try:
+                r = yield from self.rpc.call(
+                    owner, "seg_create_shadow",
+                    {"segid": fh.fileid, "base_version": fh.base_version},
+                    size=64,
+                )
+            except RpcRemoteError as exc:
+                if "exists" in str(exc).lower():
+                    # Another writer already shadows base+1: a real race.
+                    yield from self._abort_shadows(fh, owner,
+                                                   fh.base_version + 1)
+                    self.stats["conflicts"] += 1
+                    raise CommitConflict(
+                        f"{fh.path}: index already advanced") from exc
+                if "no committed base" in str(exc):
+                    if round_ == 0:
+                        # The remembered owner may simply be stale (the
+                        # index segment migrated away): drop every cached
+                        # claim and retry once against the live table.
+                        self.meta_cache.evict(fh.fileid)
+                        self._evict_location(fh.fileid)
+                        resp = yield from self._locate(fh.fileid,
+                                                       refresh=True)
+                        owner, _ = self._pick_owner(resp["owners"])
+                        continue
+                    # A fresh owner also lacks our base version: someone
+                    # committed past us.
+                    yield from self._abort_shadows(fh, owner,
+                                                   fh.base_version + 1)
+                    self.stats["conflicts"] += 1
+                    raise CommitConflict(
+                        f"{fh.path}: index already advanced") from exc
+                raise
+            return owner, r["version"]
 
     def _abort_shadows(self, fh: FileHandle, index_owner: str,
                        index_version: int):
@@ -292,7 +337,8 @@ class VersioningMixin:
 
         def pin_everywhere(segid, v):
             try:
-                resp = yield from self._locate(segid)
+                # Pinning must reach every owner: bypass the cache.
+                resp = yield from self._locate(segid, refresh=True)
             except SorrentoError:
                 return
             for host, _hv in resp["owners"]:

@@ -142,6 +142,21 @@ class Layout:
             g += 1
         return pieces
 
+    # -- copying --------------------------------------------------------
+    def clone(self) -> "Layout":
+        """A deep-enough copy: fresh SegmentRefs, shared nothing mutable.
+
+        Layouts hold only flat refs, so an explicit rebuild replaces the
+        generic ``copy.deepcopy`` on the open/commit hot path.
+        """
+        return Layout(
+            mode=self.mode,
+            segments=[SegmentRef(r.segid, r.version, r.size, r.max_size)
+                      for r in self.segments],
+            size=self.size, stripe_unit=self.stripe_unit,
+            stripe_count=self.stripe_count, fixed_size=self.fixed_size,
+        )
+
     # -- growth ---------------------------------------------------------
     def grow_to(self, new_size: int, new_segid: Callable[[], int]) -> List[SegmentRef]:
         """Extend the file to ``new_size``; returns any newly created refs.

@@ -1,4 +1,4 @@
-"""The home-host location table: soft state mapping SegIDs to owners.
+"""Location soft state: the home-host table and the client-side cache.
 
 Section 3.4.1: each provider, as a *home host*, tracks which providers
 (*owners*) store each of the segments hashed to it.  Entries are refreshed
@@ -6,8 +6,15 @@ periodically (content refreshing), updated eagerly on segment create /
 delete / version change, adjusted on membership events, and purged by age
 when a ring change moves a SegID's home elsewhere.
 
-This module is the pure data structure; the surrounding protocol lives in
-:mod:`repro.core.provider`.
+Section 3.4's lazy propagation explicitly tolerates stale location
+information — versioning catches mismatches — which is what licenses the
+client-side :class:`ClientLocationCache`: a TTL'd per-client mirror of
+owner/version claims, populated from ``loc_lookup`` responses and the
+owner hints piggybacked on data-path replies, and evicted on version
+mismatch, RPC timeout, and membership death events.
+
+This module is the pure data structures; the surrounding protocols live
+in :mod:`repro.core.provider` and :mod:`repro.core.client`.
 """
 
 from __future__ import annotations
@@ -152,3 +159,109 @@ class LocationTable:
                 del self._entries[segid]
                 self._first_seen.pop(segid, None)
         return purged
+
+
+class TtlCache:
+    """A bounded TTL'd map (insertion-order eviction, deterministic).
+
+    Shared plumbing for the client-side caches: segment locations,
+    namespace entries, and index-segment metadata.  Expiry is checked
+    lazily on ``get``; capacity overflow drops the oldest insertion.
+    """
+
+    __slots__ = ("ttl", "capacity", "_entries")
+
+    def __init__(self, ttl: float, capacity: int) -> None:
+        self.ttl = ttl
+        self.capacity = capacity
+        self._entries: Dict[object, Tuple[float, object]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key, now: float):
+        ent = self._entries.get(key)
+        if ent is None:
+            return None
+        if ent[0] <= now:
+            del self._entries[key]
+            return None
+        return ent[1]
+
+    def put(self, key, value, now: float) -> None:
+        if self.ttl <= 0 or self.capacity <= 0:
+            return
+        entries = self._entries
+        if key in entries:
+            del entries[key]  # re-insertion refreshes eviction order too
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+        entries[key] = (now + self.ttl, value)
+
+    def evict(self, key) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class ClientLocationCache:
+    """Per-client SegID → [(owner, version)] cache (newest first).
+
+    Learns whole owner lists from ``loc_lookup``/probe responses and
+    single (owner, version) claims from the hints piggybacked on
+    ``seg_read``/``seg_write``/``seg_commit`` replies.  Staleness is
+    harmless by design (versioning catches mismatches); eviction keeps
+    the common case fresh.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self, ttl: float, capacity: int) -> None:
+        self._cache = TtlCache(ttl, capacity)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, segid: int, now: float) -> Optional[List[Tuple[str, int]]]:
+        return self._cache.get(segid, now)
+
+    def store(self, segid: int, owners: List[Tuple[str, int]],
+              now: float) -> None:
+        if owners:
+            self._cache.put(segid, [tuple(o) for o in owners], now)
+
+    def learn(self, segid: int, owner: str, version: int, now: float) -> None:
+        """Merge one owner's claim, refreshing the entry's TTL."""
+        owners = self._cache.get(segid, now) or []
+        merged = [(h, v) for h, v in owners if h != owner]
+        old = dict(owners).get(owner)
+        merged.append((owner, version if old is None else max(version, old)))
+        merged.sort(key=lambda p: (-p[1], p[0]))
+        self._cache.put(segid, merged, now)
+
+    def learn_hint(self, segid: int, hint, now: float) -> None:
+        """Fold in a piggybacked hint: a list of (owner, version) pairs."""
+        for owner, version in hint or ():
+            self.learn(segid, owner, version, now)
+
+    def evict(self, segid: int) -> bool:
+        return self._cache.evict(segid)
+
+    def evict_owner(self, hostid: str) -> int:
+        """Membership death / timeout: drop every claim by ``hostid``."""
+        touched = 0
+        entries = self._cache._entries
+        for segid in list(entries):
+            expires, owners = entries[segid]
+            if any(h == hostid for h, _v in owners):
+                touched += 1
+                kept = [(h, v) for h, v in owners if h != hostid]
+                if kept:
+                    entries[segid] = (expires, kept)
+                else:
+                    del entries[segid]
+        return touched
+
+    def clear(self) -> None:
+        self._cache.clear()

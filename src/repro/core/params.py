@@ -70,6 +70,29 @@ class SorrentoParams:
     # --- attached small files (Section 3.2) ---
     attach_max: int = 60 * 1024              # paper: 60 KB
 
+    # --- client caching & vectored I/O ---
+    loc_cache_enabled: bool = True           # per-client location cache
+    loc_cache_ttl: float = 30.0              # owner/version entry lifetime
+    loc_cache_capacity: int = 4096           # entries per client
+    entry_cache_enabled: bool = False        # namespace entries ("r" opens).
+    #                                          Opt-in: relaxes "open sees the
+    #                                          latest commit" to within-TTL
+    #                                          (NFS-attribute-cache style);
+    #                                          there is no cross-client
+    #                                          invalidation channel for
+    #                                          namespace entries.
+    entry_cache_ttl: float = 2.0             # short: bounds cross-client
+    #                                          staleness of open("r")
+    entry_cache_capacity: int = 1024
+    meta_cache_enabled: bool = True          # index-segment metadata,
+    #                                          version-gated (exact match
+    #                                          against the namespace entry)
+    meta_cache_ttl: float = 60.0
+    meta_cache_capacity: int = 256
+    vectored_io: bool = True                 # one seg_read_vec/seg_write_vec
+    #                                          per owner instead of one RPC
+    #                                          per layout piece
+
     # --- calibration: CPU charges (reference-GHz-seconds) ---
     ns_op_cpu: float = 6e-4                  # ~1300 ops/s on a Cluster A node
     provider_op_cpu: float = 3e-4            # per request, user-level daemon

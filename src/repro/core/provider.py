@@ -27,6 +27,7 @@ from repro.core.placement import choose_provider
 from repro.core.segment import SegmentError, SegmentStore, StoredSegment
 from repro.network.message import RpcRemoteError, RpcTimeout
 from repro.sim import Resource
+from repro.storage import DiskIOError
 
 #: Multicast group for the backup location scheme (Section 3.4.2).
 LOCATION_GROUP = "sorrento-loc"
@@ -49,6 +50,7 @@ class StorageProvider:
 
     SERVICES = (
         "seg_create", "seg_create_shadow", "seg_write", "seg_read",
+        "seg_write_vec", "seg_read_vec",
         "seg_truncate", "seg_renew", "seg_prepare", "seg_commit",
         "seg_abort", "seg_delete", "seg_fetch", "seg_sync",
         "seg_replicate", "seg_trim", "seg_pin", "loc_lookup",
@@ -153,7 +155,18 @@ class StorageProvider:
                                                   creator=src)
         return {"version": seg.version}, 48
 
-    def _h_seg_write(self, req: dict, src: str):
+    def _owner_hint(self, segid: int, version: int) -> List[Tuple[str, int]]:
+        """Piggybacked location knowledge for a data-path reply: our own
+        claim, merged with the location table's view when we happen to be
+        the segment's home host (lazy propagation, Section 3.4/3.6)."""
+        hint = [(self.node.hostid, version)]
+        for host, v in self.loc.lookup(segid):
+            if host != self.node.hostid:
+                hint.append((host, v))
+        return hint
+
+    def _write_one(self, req: dict, src: str):
+        """Core of ``seg_write``; shared with the vectored handler."""
         segid, version = req["segid"], req["version"]
         length = req["length"]
         yield from self._charge(length)
@@ -171,7 +184,34 @@ class StorageProvider:
         self.stats["writes"] += 1
         return {"version": seg.version, "size": seg.size}, 48
 
-    def _h_seg_read(self, req: dict, src: str):
+    def _h_seg_write(self, req: dict, src: str):
+        resp, nbytes = yield from self._write_one(req, src)
+        resp["hint"] = self._owner_hint(req["segid"], resp["version"])
+        return resp, nbytes + 16 * len(resp["hint"])
+
+    def _h_seg_write_vec(self, req: dict, src: str):
+        """Vectored write: every piece of one request lands here.
+
+        Per-piece status lets a partial failure degrade to the client's
+        single-piece retry path without poisoning its siblings.
+        """
+        out, total = [], 0
+        for piece in req["pieces"]:
+            try:
+                resp, nbytes = yield from self._write_one(piece, src)
+            except (SegmentError, DiskIOError) as exc:
+                out.append({"ok": False, "segid": piece["segid"],
+                            "error": str(exc)})
+                continue
+            resp["ok"] = True
+            resp["segid"] = piece["segid"]
+            resp["hint"] = self._owner_hint(piece["segid"], resp["version"])
+            out.append(resp)
+            total += nbytes
+        return {"owner": self.node.hostid, "pieces": out}, 48 + total
+
+    def _read_one(self, req: dict, src: str):
+        """Core of ``seg_read``; shared with the vectored handler."""
         segid = req["segid"]
         version = req.get("version")
         yield from self._charge()
@@ -198,6 +238,31 @@ class StorageProvider:
         seg = self.store.get(segid, version)
         return {"version": version, "data": data, "length": length,
                 "meta": seg.meta}, 64 + length
+
+    def _h_seg_read(self, req: dict, src: str):
+        resp, nbytes = yield from self._read_one(req, src)
+        resp["hint"] = self._owner_hint(req["segid"], resp["version"])
+        return resp, nbytes + 16 * len(resp["hint"])
+
+    def _h_seg_read_vec(self, req: dict, src: str):
+        """Vectored read: per-piece payloads and per-piece failure."""
+        sequential = req.get("sequential", False)
+        out, total = [], 0
+        for piece in req["pieces"]:
+            one = dict(piece)
+            one.setdefault("sequential", sequential)
+            try:
+                resp, nbytes = yield from self._read_one(one, src)
+            except (SegmentError, DiskIOError) as exc:
+                out.append({"ok": False, "segid": piece["segid"],
+                            "error": str(exc)})
+                continue
+            resp["ok"] = True
+            resp["segid"] = piece["segid"]
+            resp["hint"] = self._owner_hint(piece["segid"], resp["version"])
+            out.append(resp)
+            total += nbytes
+        return {"owner": self.node.hostid, "pieces": out}, 48 + total
 
     def _h_seg_truncate(self, req: dict, src: str):
         yield from self._charge()
@@ -237,6 +302,7 @@ class StorageProvider:
         if meta is not None:
             seg.meta = meta
         self._announce_segment(seg)
+        hint = self._owner_hint(seg.segid, seg.version)
         # "Sorrento consolidates earlier versions of a segment and only
         # keeps one or a few latest stable versions" — off the commit
         # path, in the background.
@@ -244,7 +310,7 @@ class StorageProvider:
                         name=f"consolidate:{req['segid']:x}")
         if self.params.eager_propagation:
             yield from self._eager_push(seg)
-        return {"version": seg.version}, 48
+        return {"version": seg.version, "hint": hint}, 48 + 16 * len(hint)
 
     def _consolidate_later(self, segid: int):
         yield self.sim.timeout(1.0)

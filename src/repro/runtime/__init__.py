@@ -10,7 +10,7 @@ and trace spans over virtual time (:class:`Tracer`).
 See ``docs/runtime.md`` for the architecture walkthrough.
 """
 
-from repro.runtime.metrics import CLIENT, SERVER, MetricsRegistry, OpStats
+from repro.runtime.metrics import CACHE, CLIENT, SERVER, MetricsRegistry, OpStats
 from repro.runtime.middleware import (
     CallContext,
     MetricsMiddleware,
@@ -23,6 +23,7 @@ from repro.runtime.service import ServiceRuntime
 from repro.runtime.trace import Span, Tracer
 
 __all__ = [
+    "CACHE",
     "CLIENT",
     "SERVER",
     "CallContext",

@@ -17,6 +17,13 @@ from typing import Dict, Iterator, Optional, Tuple
 CLIENT = "client"
 SERVER = "server"
 
+#: Scope for the client-side cache/vectoring counters (hits, misses,
+#: stale evictions, vector widths) so they land in the same registry —
+#: and the same ``metrics_rows`` reports — as the RPC counters they
+#: saved.  Counted through ``observe_oneway`` (no latency: cache hits
+#: are local).
+CACHE = "cache"
+
 
 @dataclass
 class OpStats:

@@ -186,6 +186,24 @@ class ClusterInspector:
                   for (_sc, service), st in registry.items(scope)]
         return sorted(totals, key=lambda kv: (-kv[1], kv[0]))[:top]
 
+    def cache_report(self) -> Dict[str, int]:
+        """Client-cache effectiveness, aggregated across every stub.
+
+        Counts come from the per-client ``stats`` dicts (the registry's
+        "cache" scope holds the same numbers when a registry is wired).
+        """
+        keys = ("loc_hits", "loc_misses", "loc_stale",
+                "entry_hits", "entry_misses", "meta_hits", "meta_misses",
+                "vec_rpcs", "vec_pieces")
+        totals = dict.fromkeys(keys, 0)
+        for client in getattr(self.dep, "clients", []):
+            stats = getattr(client, "stats", None)
+            if not stats:
+                continue
+            for key in keys:
+                totals[key] += stats.get(key, 0)
+        return totals
+
     # --------------------------------------------------------------- text
     def summary(self) -> str:
         rep = self.replica_report()
@@ -205,4 +223,14 @@ class ClusterInspector:
         if busiest:
             lines.append("busiest services: " + ", ".join(
                 f"{svc} ({n})" for svc, n in busiest))
+        cache = self.cache_report()
+        if any(cache.values()):
+            width = (cache["vec_pieces"] / cache["vec_rpcs"]
+                     if cache["vec_rpcs"] else 0.0)
+            lines.append(
+                f"location cache: {cache['loc_hits']} hits / "
+                f"{cache['loc_misses']} misses / {cache['loc_stale']} stale; "
+                f"meta {cache['meta_hits']}/{cache['meta_misses']}; "
+                f"vectored rpcs {cache['vec_rpcs']} "
+                f"(avg width {width:.1f})")
         return "\n".join(lines)

@@ -144,6 +144,44 @@ def test_only_the_runtime_layer_touches_the_raw_endpoint():
     )
 
 
+def test_scalar_segment_rpcs_only_in_fallback_paths():
+    """The vectored data path is the rule: client code may issue scalar
+    ``seg_read``/``seg_write`` RPCs only from the exact-version index
+    scan, the single-piece retry/fallback helpers, and the unversioned
+    index v1 rewrite — never from a new bulk-I/O loop."""
+    allowed = {
+        ("repro.core.client.io", "_load_index"),
+        ("repro.core.client.io", "_read_piece_single"),
+        ("repro.core.client.io", "_read_piece_fallback"),
+        ("repro.core.client.io", "_write_piece_single"),
+        ("repro.core.client.io", "_publish_unversioned_index"),
+    }
+    offenders = []
+    for path in (SRC / "core" / "client").glob("*.py"):
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+
+        def visit(node, fn, mod=mod):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = node.name
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "call"
+                    and len(node.args) > 1
+                    and isinstance(node.args[1], ast.Constant)
+                    and node.args[1].value in ("seg_read", "seg_write")
+                    and (mod, fn) not in allowed):
+                offenders.append(
+                    f"{mod}.{fn}:{node.lineno} ({node.args[1].value})")
+            for child in ast.iter_child_nodes(node):
+                visit(child, fn)
+
+        visit(ast.parse(path.read_text()), "<module>")
+    assert offenders == [], (
+        "scalar segment RPCs outside the fallback allowlist: "
+        + ", ".join(offenders)
+    )
+
+
 def test_fault_injection_goes_through_the_fault_plane():
     """Experiments (and the other application-level packages) must inject
     faults declaratively via ``repro.faults`` — a ``FaultPlan`` executed by

@@ -8,12 +8,17 @@ Two guarantees, checked on a small Figure-10-like scenario:
 
 2. *Golden*: the behaviour-visible outcome (final clock, completed
    sessions, fabric message count, and a hash of every RPC metric
-   counter) matches the values recorded on the pre-optimization kernel
-   (commit ac4ebfb, pure-heap scheduler, AnyOf deadlines, per-delivery
-   processes).  The optimizations may only remove bookkeeping events —
-   never change what the simulation computes.  ``_nprocessed`` is
-   deliberately *not* part of the golden: dropping dead events is the
-   point of the optimization.
+   counter) matches recorded values.  The kernel optimizations may only
+   remove bookkeeping events — never change what the simulation
+   computes.  ``_nprocessed`` is deliberately *not* part of the golden:
+   dropping dead events is the point of the optimization.
+
+The goldens below were deliberately re-recorded when the client
+location cache + vectored I/O landed: those features *intentionally*
+change the RPC mix (fewer ``loc_lookup``/``seg_read`` calls, more
+sessions per second), so the pre-cache values could not survive.  The
+replay tests remain the determinism proof; the goldens pin the new
+behaviour against accidental drift from here on.
 """
 
 import hashlib
@@ -21,13 +26,15 @@ import hashlib
 from repro.experiments.common import cluster_a_like, sorrento_on
 from repro.workloads.smallfile import session_loop
 
-#: Recorded on the pre-optimization kernel; see module docstring.
+#: Re-recorded with the client location/meta caches on (see module
+#: docstring); the pre-optimization kernel golden was sessions=149,
+#: messages_sent=3055 — the caches buy 4 extra sessions in the window.
 GOLDEN = {
     "clock": 9.509108141,
-    "sessions": 149,
-    "messages_sent": 3055,
+    "sessions": 153,
+    "messages_sent": 3134,
     "metrics_sha256":
-        "00b72fd2ee4db9ee2df3a4afdd19416ff18379cd6c35b41b8cacfd08a87a8296",
+        "1d5336cb12bc22b10e0645f6838d42b675c8c1ad9b042ed5b497ca2c157e356b",
 }
 
 
@@ -128,17 +135,19 @@ def run_faulted_scenario(seed=11, n_clients=2, duration=6.0):
     }
 
 
-#: Recorded when the fault plane landed; a drift here means injected
-#: faults (or the hooks they flow through) changed behaviour.
+#: Recorded when the fault plane landed, re-recorded with the client
+#: location cache (see module docstring; previously sessions=47,
+#: messages_sent=1041).  A drift here means injected faults (or the
+#: hooks they flow through) changed behaviour.
 GOLDEN_FAULTS = {
     "clock": 12.509108141,
-    "sessions": 47,
-    "messages_sent": 1041,
+    "sessions": 50,
+    "messages_sent": 1098,
     "messages_dropped": 16,
     "messages_duplicated": 9,
     "fault_events": 8,
     "metrics_sha256":
-        "d840c459cb2b2b77f4a71751f54c34b05a751a5155b020412ecdbb863242f316",
+        "31dff5686df4afe091827b510a6fd7c621f7de507e07b08d45b90c332527768a",
 }
 
 

@@ -56,6 +56,8 @@ def test_backup_probe_finds_segment_with_cold_tables():
     write_file(dep, client, "/probe")
     for p in dep.providers.values():
         p.loc = LocationTable()  # wipe all soft state
+    client.loc_cache.clear()     # ...including the client's cached claims
+    client.meta_cache.clear()
     before = client.stats["probe_fallbacks"]
 
     def read():
