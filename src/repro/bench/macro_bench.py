@@ -50,6 +50,7 @@ def reduced_fig10(n_clients: int = 6, duration: float = 8.0,
 def run_macro_suite(smoke: bool = False, repeat: int = 1,
                     verbose: bool = True) -> Dict[str, Dict]:
     from repro.bench.datapath_bench import locate_storm, stripe_readwrite
+    from repro.bench.diskengine_bench import flush_storm, smallfile_churn
     from repro.bench.harness import run_suite
 
     if smoke:
@@ -65,6 +66,13 @@ def run_macro_suite(smoke: bool = False, repeat: int = 1,
                 n_clients=1, rounds=2),
             "stripe_readwrite_nocache": lambda: stripe_readwrite(
                 cached=False, n_clients=1, rounds=2),
+            "smallfile_churn": lambda: smallfile_churn(
+                n_clients=1, rounds=2, reads_per_round=8),
+            "smallfile_churn_nocache": lambda: smallfile_churn(
+                cached=False, n_clients=1, rounds=2, reads_per_round=8),
+            "flush_storm": lambda: flush_storm(n_clients=1, writes=12),
+            "flush_storm_nocache": lambda: flush_storm(
+                cached=False, n_clients=1, writes=12),
         }
     else:
         benches = {
@@ -77,5 +85,13 @@ def run_macro_suite(smoke: bool = False, repeat: int = 1,
             "stripe_readwrite": lambda: stripe_readwrite(),
             "stripe_readwrite_nocache": lambda: stripe_readwrite(
                 cached=False),
+            # Provider storage-engine pair: _nocache replays the raw-disk
+            # path (cache_bytes=0), the cached run exercises page cache +
+            # write-back + coalescing scheduler.  Compare sim_ms_per_op.
+            "smallfile_churn": lambda: smallfile_churn(),
+            "smallfile_churn_nocache": lambda: smallfile_churn(
+                cached=False),
+            "flush_storm": lambda: flush_storm(),
+            "flush_storm_nocache": lambda: flush_storm(cached=False),
         }
     return run_suite(benches, repeat=repeat, verbose=verbose)

@@ -61,6 +61,7 @@ class Node(Host):
         self.cpu_util = 0.0
         self.io_wait = 0.0
         self._procs: List[Process] = []
+        self._prune_at = 64
         self._last_cpu_bytes = 0
         self._last_disk_busy = 0.0
         self._monitor: Optional[Process] = None
@@ -76,8 +77,12 @@ class Node(Host):
         """Run a process that dies with the node."""
         proc = self.sim.process(gen, name=f"{self.hostid}:{name}")
         self._procs.append(proc)
-        if len(self._procs) > 64:  # drop finished entries
+        if len(self._procs) >= self._prune_at:
+            # Amortized prune: rescan only once the list has doubled past
+            # the survivors, so steady-state spawns cost O(1) instead of
+            # an is_alive sweep each time the list exceeds a fixed cap.
             self._procs = [p for p in self._procs if p.is_alive]
+            self._prune_at = max(64, 2 * len(self._procs))
         return proc
 
     def start_monitor(self) -> None:
@@ -142,9 +147,15 @@ class Node(Host):
             if proc.is_alive:
                 proc.interrupt(cause=f"{self.hostid} crashed")
         self._procs.clear()
+        self._prune_at = 64
         if self._monitor is not None and self._monitor.is_alive:
             self._monitor.interrupt(cause="crash")
             self._monitor = None
+        if self.fs is not None and self.fs.engine is not None:
+            # Power loss: the page cache dies with the node; dirty pages
+            # (and the files they belonged to) are recorded as lost for
+            # the provider's restart path to reconcile.
+            self.fs.engine.on_crash()
         if wipe and self.fs is not None:
             self.fs.files.clear()
             self.fs.used = 0
@@ -158,5 +169,9 @@ class Node(Host):
         self.io_wait = 0.0
         self._last_cpu_bytes = self.cpu_pipe.bytes_transferred
         if self.device is not None:
+            # Power-cycle the drive before sampling its busy ledger: the
+            # pre-crash request backlog must not be inherited (and the
+            # ledger reset must not make monitor deltas negative).
+            self.device.reset()
             self._last_disk_busy = self.device.busy_accum
         self.start_monitor()

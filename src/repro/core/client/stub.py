@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional
 
 from repro.core.client.handle import FileHandle, SorrentoError
@@ -42,7 +43,9 @@ class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
         # each top-level directory hashes to one namespace server.
         self.ns_partitions = list(ns_partitions) if ns_partitions else None
         self.params = params or SorrentoParams()
-        self.rng = rng or random.Random(hash(node.hostid) & 0xFFFFFF)
+        # crc32, not hash(): the builtin string hash is randomized per
+        # interpreter launch, breaking cross-process replay.
+        self.rng = rng or random.Random(zlib.crc32(node.hostid.encode()) & 0xFFFFFF)
         self.rpc = node.runtime
         self.rpc.configure(policy=self.params.rpc_policy())
         self.membership = membership or MembershipManager(

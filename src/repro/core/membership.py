@@ -9,7 +9,7 @@ storage-availability information that the placement policy consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 HEARTBEAT_GROUP = "sorrento-hb"
@@ -24,9 +24,13 @@ DEATH_FACTOR = 5
 HEARTBEAT_BYTES = 96
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class ProviderInfo:
-    """Soft state about one live storage provider."""
+    """Soft state about one live storage provider.
+
+    Frozen: the manager replaces whole records on heartbeat instead of
+    mutating, which is what lets :meth:`MembershipManager.snapshot` be a
+    plain dict copy on the hot placement path."""
 
     hostid: str
     load: float = 0.0             # combined CPU + I/O-wait load, [0, 1]
@@ -70,8 +74,13 @@ class MembershipManager:
         return self.members.get(hostid)
 
     def snapshot(self) -> Dict[str, ProviderInfo]:
-        """A stable copy of the current membership view."""
-        return {h: replace(i) for h, i in self.members.items()}
+        """A stable copy of the current membership view.
+
+        A shallow dict copy suffices: ``_observe``/``_on_heartbeat``
+        always install *new* ``ProviderInfo`` objects, never mutate one
+        in place, so the values are immutable from the caller's side.
+        This runs on every placement decision — it is hot."""
+        return dict(self.members)
 
     def __contains__(self, hostid: str) -> bool:
         return hostid in self.members
@@ -99,7 +108,12 @@ class MembershipManager:
 
     # -- reception ----------------------------------------------------------
     def _on_heartbeat(self, info: ProviderInfo, src: str) -> None:
-        arrived = replace(info, last_seen=self.sim.now)
+        # Build the stamped copy directly: dataclasses.replace() costs a
+        # field-introspection round per heartbeat and this path runs
+        # providers x interval times per simulated second.
+        arrived = ProviderInfo(info.hostid, info.load, info.io_wait,
+                               info.available, info.utilization, info.rack,
+                               self.sim.now)
         self._observe(arrived)
 
     def _observe(self, info: ProviderInfo) -> None:

@@ -169,8 +169,9 @@ class NamespaceServer:
             waiters = [first]
             while len(self._flush_queue):
                 waiters.append((yield self._flush_queue.get()))
-            # One WAL write commits the whole batch.
-            yield self.node.fs.device.io(4096 + 512 * len(waiters))
+            # One WAL write commits the whole batch; journal appends are
+            # synchronous by definition and never pass through a cache.
+            yield self.node.fs.journal_io(4096 + 512 * len(waiters))
             for ev in waiters:
                 if not ev.triggered:
                     ev.succeed()
@@ -179,7 +180,7 @@ class NamespaceServer:
         while True:
             yield self.sim.timeout(self.params.ns_checkpoint_interval)
             nbytes = self.db.checkpoint()
-            yield self.node.fs.device.io(max(4096, nbytes), sequential=True)
+            yield self.node.fs.journal_io(max(4096, nbytes), sequential=True)
 
     # ------------------------------------------------------- handlers
     def _h_lookup(self, path: str, src: str):

@@ -93,6 +93,20 @@ class SorrentoParams:
     #                                          per owner instead of one RPC
     #                                          per layout piece
 
+    # --- provider storage engine (page cache + disk scheduler) ---
+    cache_bytes: int = 0                     # per-provider page-cache size;
+    #                                          0 disables the engine entirely
+    #                                          (the seed's raw-disk path, kept
+    #                                          as the default so recorded
+    #                                          goldens stay bit-identical)
+    page_size: int = 16 * 1024               # cache page granularity
+    writeback: bool = True                   # ack writes from cache; False =
+    #                                          write-through (cache reads only)
+    flush_interval: float = 0.5              # background flusher period
+    dirty_watermark: float = 0.25            # dirty fraction that wakes the
+    #                                          flusher early
+    readahead_pages: int = 2                 # extra pages on sequential miss
+
     # --- calibration: CPU charges (reference-GHz-seconds) ---
     ns_op_cpu: float = 6e-4                  # ~1300 ops/s on a Cluster A node
     provider_op_cpu: float = 3e-4            # per request, user-level daemon

@@ -15,6 +15,7 @@ A provider wears three hats at once:
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.hashing import HashRing
@@ -27,7 +28,7 @@ from repro.core.placement import choose_provider
 from repro.core.segment import SegmentError, SegmentStore, StoredSegment
 from repro.network.message import RpcRemoteError, RpcTimeout
 from repro.sim import Resource
-from repro.storage import DiskIOError
+from repro.storage import DiskIOError, StorageEngine
 
 #: Multicast group for the backup location scheme (Section 3.4.2).
 LOCATION_GROUP = "sorrento-loc"
@@ -65,9 +66,27 @@ class StorageProvider:
         self.sim = node.sim
         self.volume = volume
         self.params = params or SorrentoParams()
-        self.rng = rng or random.Random(hash(node.hostid) & 0xFFFF)
+        # crc32, not hash(): the builtin string hash is randomized per
+        # interpreter launch (PYTHONHASHSEED), which would make "same
+        # seed, same run" hold only within one process.
+        self.rng = rng or random.Random(zlib.crc32(node.hostid.encode()) & 0xFFFF)
         self.store = SegmentStore(self.sim, node.fs,
                                   shadow_ttl=self.params.shadow_ttl)
+        if self.params.cache_bytes > 0 and node.fs.engine is None:
+            # The storage engine (page cache + write-back + scheduler)
+            # is strictly opt-in: with cache_bytes=0 the FS talks to the
+            # raw device exactly as before.
+            node.fs.engine = StorageEngine(
+                self.sim, node.fs.device,
+                page_size=self.params.page_size,
+                cache_bytes=self.params.cache_bytes,
+                writeback=self.params.writeback,
+                flush_interval=self.params.flush_interval,
+                dirty_watermark=self.params.dirty_watermark,
+                readahead_pages=self.params.readahead_pages,
+                metrics=node.runtime.registry,
+                host=node.hostid,
+            )
         self.loc = LocationTable()
         self.ring = HashRing(self.params.ring_vnodes)
         self.history = AccessHistory(self.params.locality_segments,
@@ -98,6 +117,9 @@ class StorageProvider:
         self.node.spawn(self._refresh_loop(), name="loc-refresh")
         self.node.spawn(self._shadow_sweep_loop(), name="shadow-sweep")
         self.node.spawn(self._migration_loop(), name="migration")
+        engine = self.node.fs.engine
+        if engine is not None and engine.writeback:
+            self.node.spawn(engine.flush_loop(), name="fs-flush")
 
     def restart(self) -> None:
         """Rejoin after a crash: node back up, location table rebuilt.
@@ -108,6 +130,13 @@ class StorageProvider:
         via versions.
         """
         self.node.restart()
+        engine = self.node.fs.engine
+        if engine is not None:
+            # Write-back pages died with the node: any version whose data
+            # was only ever acknowledged from cache is gone.  Committed
+            # versions synced before ack, so only shadows can drop here.
+            for fs_name in sorted(engine.take_lost()):
+                self.store.discard_lost(fs_name)
         self.loc = LocationTable()
         self.membership.members.clear()
         self.membership.start()
@@ -282,6 +311,9 @@ class StorageProvider:
             return seg is not None, 32  # already committed counts as yes
         if seg.expires_at is not None and seg.expires_at <= self.sim.now:
             return False, 32
+        # A yes vote promises the data survives a crash: flush any
+        # write-back pages for this shadow before answering.
+        yield from self.node.fs.sync(seg.fs_name)
         # Hold the shadow through the commit window.
         seg.expires_at = self.sim.now + self.params.commit_grant_ttl * 4
         return True, 32
@@ -377,11 +409,15 @@ class StorageProvider:
         regions = None
         if since is not None:
             regions = self.store.export_diff(segid, since, seg.version)
+        # Serving replication reads from dirty cache would replicate data
+        # that a crash could still lose — flush first (no-op when clean).
+        yield from self.node.fs.sync(seg.fs_name)
         if regions is not None:
             nbytes = sum(e - s for s, e, _ in regions)
             yield from self._charge(nbytes)
             if nbytes > 0:
-                yield self.node.fs.device.io(nbytes, sequential=True)
+                yield self.node.fs.charge_read(seg.fs_name, 0, nbytes,
+                                               sequential=True)
             return {
                 "segid": segid, "version": seg.version, "size": seg.size,
                 "degree": seg.replication_degree, "alpha": seg.alpha,
@@ -551,11 +587,16 @@ class StorageProvider:
 
     def _index_io(self, seg, meta_only: bool = False):
         """Disk charge for reading an index segment: the native-FS inode
-        plus, unless only the layout is needed, the attached file data."""
-        yield self.node.fs.device.io(4096)
+        plus, unless only the layout is needed, the attached file data.
+
+        Routed per-file through the page cache when an engine is on —
+        repeated index fetches are exactly the hot small reads a buffer
+        cache absorbs (the paper's NFS small-file advantage, §6.2)."""
+        yield self.node.fs.meta_io()
         attached = (seg.meta or {}).get("attached_len") or 0
         if not meta_only:
-            yield self.node.fs.device.io(max(4096, attached))
+            yield self.node.fs.charge_read(seg.fs_name, 0,
+                                           max(4096, attached))
         seg.last_access = self.sim.now
         return 0 if meta_only else attached
 

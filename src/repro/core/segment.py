@@ -224,7 +224,10 @@ class SegmentStore:
         seg.committed = True
         seg.expires_at = None
         if len(seg.extents) > 0 and seg.meta is None:
-            yield self.fs.device.io(4096)
+            yield self.fs.meta_io()
+        # Commit is the durability edge: write-back data for this version
+        # must be on the media before the commit is acknowledged.
+        yield from self.fs.sync(seg.fs_name)
         return seg
 
     def drop(self, segid: int, version: int):
@@ -248,8 +251,32 @@ class SegmentStore:
             if f is not None:
                 self.fs.used -= f.allocated
                 any_allocated = any_allocated or f.allocated > 0
+            self.fs.discard_cache(seg.fs_name)
         if any_allocated:
-            yield self.fs.device.io(4096)
+            yield self.fs.meta_io()
+
+    def discard_lost(self, fs_name: str) -> Optional[Tuple[int, int]]:
+        """Drop an *uncommitted* version whose write-back cache pages died
+        in a crash (see :meth:`repro.storage.engine.StorageEngine.take_lost`).
+
+        Committed versions are never dropped: every commit/ingest path
+        syncs the backing file before acknowledging, so a committed
+        version's data was on the media by definition.  Returns the
+        ``(segid, version)`` dropped, or ``None``.
+        """
+        stem, _, ver = fs_name.partition(".")
+        try:
+            key = (int(stem, 16), int(ver))
+        except ValueError:
+            return None
+        seg = self._segs.get(key)
+        if seg is None or seg.committed:
+            return None
+        del self._segs[key]
+        f = self.fs.files.pop(fs_name, None)
+        if f is not None:
+            self.fs.used -= f.allocated
+        return key
 
     def renew_shadow(self, segid: int, version: int) -> None:
         """Reset a shadow's expiration timer (§3.5)."""
@@ -364,6 +391,9 @@ class SegmentStore:
                 if nbytes > 0:
                     yield from self.fs.write(seg.fs_name, 0, nbytes,
                                              sequential=True)
+                    # A replica arrives committed — it must survive a
+                    # crash, so it cannot linger in the write-back cache.
+                    yield from self.fs.sync(seg.fs_name)
                 self.fs.set_size(seg.fs_name, size)
                 f = self.fs.files[seg.fs_name]
                 growth = size - f.allocated
@@ -438,6 +468,7 @@ class SegmentStore:
             if nbytes > 0:
                 yield from self.fs.write(seg.fs_name, 0, nbytes,
                                          sequential=True)
+                yield from self.fs.sync(seg.fs_name)  # committed on arrival
             self.fs.set_size(seg.fs_name, size)
         except Exception:
             self._segs.pop(key, None)

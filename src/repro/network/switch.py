@@ -72,7 +72,10 @@ class Fabric:
         self.sim = sim
         self.latency = latency
         self.hosts: Dict[str, Host] = {}
-        self.groups: Dict[str, Set[str]] = {}
+        # Insertion-ordered (dict, not set): multicast iterates the
+        # members, and set order varies with PYTHONHASHSEED — which
+        # would make delivery order differ between interpreter runs.
+        self.groups: Dict[str, Dict[str, None]] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_duplicated = 0
@@ -136,13 +139,15 @@ class Fabric:
     def detach(self, hostid: str) -> None:
         self.hosts.pop(hostid, None)
         for members in self.groups.values():
-            members.discard(hostid)
+            members.pop(hostid, None)
 
     def subscribe(self, group: str, hostid: str) -> None:
-        self.groups.setdefault(group, set()).add(hostid)
+        self.groups.setdefault(group, {})[hostid] = None
 
     def unsubscribe(self, group: str, hostid: str) -> None:
-        self.groups.get(group, set()).discard(hostid)
+        members = self.groups.get(group)
+        if members is not None:
+            members.pop(hostid, None)
 
     # -- transmission ----------------------------------------------------
     def send(self, msg: Message) -> None:

@@ -24,6 +24,12 @@ SERVER = "server"
 #: are local).
 CACHE = "cache"
 
+#: Scope for the provider storage-engine counters (page-cache hits and
+#: misses, absorbed write-backs, coalesced scheduler requests, read-ahead
+#: pages) plus ``flush`` latency observations.  Local device events, so
+#: everything except flushes is counted through ``observe_oneway``.
+DISK = "disk"
+
 
 @dataclass
 class OpStats:

@@ -13,6 +13,7 @@ from repro.storage.disk import (
     DiskIOError,
     DiskSpec,
 )
+from repro.storage.engine import StorageEngine
 from repro.storage.filesystem import LocalFS, NoSpace
 from repro.storage.raid import Raid0
 
@@ -25,4 +26,5 @@ __all__ = [
     "LocalFS",
     "NoSpace",
     "Raid0",
+    "StorageEngine",
 ]

@@ -81,9 +81,18 @@ class Disk:
         self._ready_at = 0.0
         self.busy_accum = 0.0
         self.bytes_done = 0
+        self.bytes_failed = 0
         self.requests = 0
         self.io_errors = 0
         self.fault: Optional[DiskFaultState] = None
+
+    def reset(self) -> None:
+        """Power-cycle the drive: the pending request queue dies with the
+        node, so a restarted provider must not inherit its pre-crash
+        ``_ready_at`` backlog or busy ledger.  Counters and any installed
+        fault survive — the media is the same physical drive."""
+        self._ready_at = self.sim.now
+        self.busy_accum = 0.0
 
     # -- fault plane -----------------------------------------------------
     def set_fault(self, fault: DiskFaultState) -> None:
@@ -94,9 +103,15 @@ class Disk:
         self.fault = None
 
     def service_time(self, nbytes: int, sequential: bool = False) -> float:
+        """Time this drive needs for one request *including* any installed
+        fault slowdown, so utilization/backlog estimates stay honest while
+        a ``DiskFault`` is active."""
         t = nbytes / self.spec.transfer_bps
         if not sequential:
             t += self.spec.seek_s + self.spec.half_rotation_s
+        fault = self.fault
+        if fault is not None and fault.slowdown != 1.0:
+            t *= fault.slowdown
         return t
 
     def io(self, nbytes: int, sequential: bool = False) -> Event:
@@ -105,24 +120,24 @@ class Disk:
             raise ValueError("negative I/O size")
         fault = self.fault
         service = self.service_time(nbytes, sequential)
-        if fault is not None and fault.slowdown != 1.0:
-            service *= fault.slowdown
         start = max(self.sim.now, self._ready_at)
         done = start + service
         self._ready_at = done
         self.busy_accum += service
-        self.bytes_done += nbytes
         self.requests += 1
         if fault is not None and fault.error_rate > 0.0 \
                 and fault.rng.random() < fault.error_rate:
-            # The drive still spends the service time before erroring out.
+            # The drive still spends the service time before erroring out,
+            # but the bytes never made it to (or from) the media.
             self.io_errors += 1
+            self.bytes_failed += nbytes
             ev = self.sim.event("disk-io-error")
             exc = DiskIOError(
                 f"{self.spec.name}: I/O error ({nbytes} bytes)")
             self.sim.timeout(done - self.sim.now).add_callback(
                 lambda _t, e=ev, x=exc: e.fail(x))
             return ev
+        self.bytes_done += nbytes
         return self.sim.timeout(done - self.sim.now)
 
     @property

@@ -57,6 +57,48 @@ class LocalFS:
         self.capacity = capacity if capacity is not None else device_capacity(device)
         self.used = 0
         self.files: Dict[str, _File] = {}
+        #: Optional :class:`repro.storage.engine.StorageEngine` installed
+        #: by the provider.  ``None`` means raw device access (the seed
+        #: behaviour, bit-identical to the recorded goldens).
+        self.engine = None
+
+    # -- device funnel ---------------------------------------------------
+    def _device_io(self, nbytes: int, sequential: bool = False):
+        """The one raw device call for engine-less charges (the
+        architecture lint pins every other ``.io()`` to the engine)."""
+        return self.device.io(nbytes, sequential)
+
+    def meta_io(self, nbytes: int = META_IO_BYTES):
+        """Charge one metadata operation (inode/dirent update); routed
+        through the engine's priority lane when one is installed."""
+        if self.engine is not None:
+            return self.engine.meta_io(nbytes)
+        return self._device_io(nbytes)
+
+    def journal_io(self, nbytes: int, sequential: bool = False):
+        """A synchronous journal append (namespace WAL): durability is
+        the point, so this never passes through the write-back cache."""
+        return self._device_io(nbytes, sequential)
+
+    def charge_read(self, name: str, offset: int, nbytes: int,
+                    sequential: bool = False):
+        """Charge a read against a file's cache pages without bounds
+        checks — for callers that size their own transfers (index-segment
+        attach, replication ``seg_fetch``)."""
+        if self.engine is not None:
+            return self.engine.read(name, offset, nbytes, sequential)
+        return self._device_io(nbytes, sequential)
+
+    def sync(self, name: str):
+        """Generator: force the file's dirty pages to the media (no-op
+        without an engine — the raw path is synchronous already)."""
+        if self.engine is not None:
+            yield from self.engine.sync(name)
+
+    def discard_cache(self, name: str) -> None:
+        """Drop any cached pages for a file that no longer exists."""
+        if self.engine is not None:
+            self.engine.drop(name)
 
     # -- space accounting ---------------------------------------------
     @property
@@ -88,7 +130,7 @@ class LocalFS:
         if name in self.files:
             raise FileExistsError(name)
         if charge:
-            yield self.device.io(META_IO_BYTES)
+            yield self.meta_io()
         self.files[name] = _File()
 
     def set_size(self, name: str, size: int) -> None:
@@ -112,8 +154,9 @@ class LocalFS:
         if f is None:
             raise FileNotFoundError(name)
         self.used -= f.allocated
+        self.discard_cache(name)
         if f.allocated > 0:
-            yield self.device.io(META_IO_BYTES)
+            yield self.meta_io()
 
     def exists(self, name: str) -> bool:
         """Whether the file exists."""
@@ -154,7 +197,11 @@ class LocalFS:
         cost = int(nbytes * self._write_penalty())
         f.allocated = new_alloc
         self.used += growth
-        yield self.device.io(cost, sequential)
+        if self.engine is not None:
+            yield self.engine.write(name, offset, nbytes, sequential,
+                                    charge=cost)
+        else:
+            yield self._device_io(cost, sequential)
 
     def read(self, name: str, offset: int, nbytes: int, sequential: bool = False):
         """Read ``nbytes`` at ``offset`` (must be within the file)."""
@@ -165,7 +212,10 @@ class LocalFS:
             raise ValueError(
                 f"{name}: read past EOF ({offset}+{nbytes} > {f.size})"
             )
-        yield self.device.io(nbytes, sequential)
+        if self.engine is not None:
+            yield self.engine.read(name, offset, nbytes, sequential)
+        else:
+            yield self._device_io(nbytes, sequential)
 
     def truncate(self, name: str, size: int):
         """Set the file's logical size.
@@ -181,7 +231,7 @@ class LocalFS:
             self.used -= f.allocated - size
             f.allocated = size
         f.size = size
-        yield self.device.io(META_IO_BYTES)
+        yield self.meta_io()
 
 
 def device_capacity(device: Union[Disk, Raid0]) -> int:

@@ -88,3 +88,12 @@ class Raid0:
     @property
     def bytes_done(self) -> int:
         return sum(d.bytes_done for d in self.disks)
+
+    @property
+    def bytes_failed(self) -> int:
+        return sum(d.bytes_failed for d in self.disks)
+
+    def reset(self) -> None:
+        """Power-cycle every member (see :meth:`Disk.reset`)."""
+        for disk in self.disks:
+            disk.reset()

@@ -204,6 +204,31 @@ class ClusterInspector:
                 totals[key] += stats.get(key, 0)
         return totals
 
+    def disk_report(self) -> Dict[str, int]:
+        """Storage-engine effectiveness, aggregated across providers.
+
+        All zeros when no provider runs an engine (``cache_bytes=0``) —
+        the raw-disk configuration has nothing to report.
+        """
+        keys = ("cache_hits", "cache_misses", "writes_absorbed",
+                "writes_through", "readahead_pages", "meta_ops",
+                "coalesced", "flush_batches", "flush_pages", "flush_errors",
+                "sync_flushes", "evicted", "evicted_dirty", "queue_peak",
+                "dirty_pages", "cached_pages")
+        totals = dict.fromkeys(keys, 0)
+        for provider in self.dep.providers.values():
+            engine = getattr(provider.node.fs, "engine", None)
+            if engine is None:
+                continue
+            for key, val in engine.stats.items():
+                if key == "queue_peak":
+                    totals[key] = max(totals[key], val)
+                else:
+                    totals[key] = totals.get(key, 0) + val
+            totals["dirty_pages"] += engine.dirty_pages
+            totals["cached_pages"] += engine.cached_pages
+        return totals
+
     # --------------------------------------------------------------- text
     def summary(self) -> str:
         rep = self.replica_report()
@@ -233,4 +258,15 @@ class ClusterInspector:
                 f"meta {cache['meta_hits']}/{cache['meta_misses']}; "
                 f"vectored rpcs {cache['vec_rpcs']} "
                 f"(avg width {width:.1f})")
+        disk = self.disk_report()
+        if any(disk.values()):
+            lines.append(
+                f"page cache: {disk['cache_hits']} hits / "
+                f"{disk['cache_misses']} misses; "
+                f"write-back absorbed {disk['writes_absorbed']}, "
+                f"flushed {disk['flush_pages']} pages in "
+                f"{disk['flush_batches']} batches "
+                f"({disk['dirty_pages']} still dirty); "
+                f"coalesced {disk['coalesced']} requests "
+                f"(queue peak {disk['queue_peak']})")
         return "\n".join(lines)

@@ -182,6 +182,43 @@ def test_scalar_segment_rpcs_only_in_fallback_paths():
     )
 
 
+def test_raw_disk_io_goes_through_the_storage_engine():
+    """Provider-side disk charges flow through ``LocalFS`` (which routes
+    to the ``StorageEngine`` when one is installed) — never a direct
+    ``device.io()`` call.  Allowed raw call sites: the FS's own funnel,
+    the engine's merged-issue point, RAID striping over its members, and
+    the NFS/PVFS baselines (independent systems modeling their own
+    kernels' buffer caches)."""
+    allowed = {
+        ("repro.storage.filesystem", "_device_io"),
+        ("repro.storage.engine", "_issue"),
+        ("repro.storage.raid", "io"),
+    }
+    allowed_modules = {"repro.baselines.nfs", "repro.baselines.pvfs"}
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        if mod in allowed_modules:
+            continue
+
+        def visit(node, fn, mod=mod):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = node.name
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "io"
+                    and (mod, fn) not in allowed):
+                offenders.append(f"{mod}.{fn}:{node.lineno}")
+            for child in ast.iter_child_nodes(node):
+                visit(child, fn)
+
+        visit(ast.parse(path.read_text()), "<module>")
+    assert offenders == [], (
+        "raw device .io() outside the storage-engine allowlist: "
+        + ", ".join(offenders)
+    )
+
+
 def test_fault_injection_goes_through_the_fault_plane():
     """Experiments (and the other application-level packages) must inject
     faults declaratively via ``repro.faults`` — a ``FaultPlan`` executed by

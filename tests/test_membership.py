@@ -95,9 +95,23 @@ def test_rejoin_fires_join_again():
 
 
 def test_snapshot_is_isolated_copy():
+    """The snapshot must stay stable while the live view moves on.
+
+    ProviderInfo records are frozen (heartbeats install replacements,
+    never mutate), so a plain dict copy is a true stable snapshot — and
+    callers cannot corrupt the live view through a snapshot value.
+    """
+    import dataclasses
+
+    import pytest
+
     sim, nodes, providers, listeners = build()
     sim.run(until=5)
     m = next(iter(listeners.values()))
     snap = m.snapshot()
-    snap["s00"].load = 99.0
-    assert m.info("s00").load != 99.0
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        snap["s00"].load = 99.0
+    before = snap["s00"]
+    sim.run(until=sim.now + 3)  # heartbeats replace the live record
+    assert m.info("s00").last_seen > before.last_seen
+    assert snap["s00"] is before  # the snapshot did not move
