@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.bench.harness import append_entry, bench_entry
 from repro.bench.kernel_bench import run_kernel_suite
 from repro.bench.macro_bench import run_macro_suite
+from repro.bench.scale_bench import run_scale_suite
 
 
 def main(argv=None) -> int:
@@ -31,7 +32,8 @@ def main(argv=None) -> int:
                         help="label recorded with this entry")
     parser.add_argument("--out-dir", default=".",
                         help="directory holding BENCH_*.json")
-    parser.add_argument("--only", choices=("kernel", "macro"), default=None)
+    parser.add_argument("--only", choices=("kernel", "macro", "scale"),
+                        default=None)
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per benchmark (best wall kept)")
     args = parser.parse_args(argv)
@@ -50,6 +52,13 @@ def main(argv=None) -> int:
         doc = append_entry(out / "BENCH_macro.json",
                            bench_entry(args.label, results, args.smoke),
                            benchmark="macro")
+        if "headline" in doc:
+            print(json.dumps(doc["headline"], indent=2), file=sys.stderr)
+    if args.only in (None, "scale"):
+        results = run_scale_suite(smoke=args.smoke, repeat=args.repeat)
+        doc = append_entry(out / "BENCH_scale.json",
+                           bench_entry(args.label, results, args.smoke),
+                           benchmark="scale")
         if "headline" in doc:
             print(json.dumps(doc["headline"], indent=2), file=sys.stderr)
     return 0

@@ -52,6 +52,10 @@ class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
             node, interval=self.params.heartbeat_interval, announce=False
         )
         self.ring = HashRing(self.params.ring_vnodes)
+        # Membership events splice the consistent-hash ring incrementally
+        # (the ring also reconciles lazily against any explicit view).
+        self.membership.on_join.append(self.ring.add_host)
+        self.membership.on_leave.append(self.ring.remove_host)
         self.ids = IdGenerator(node.hostid, self.rng, clock=lambda: self.sim.now)
         self._probe_waiters: Dict[int, Event] = {}
         if "loc_probe_hit" not in self.rpc.handlers:

@@ -26,6 +26,7 @@ class RangeMap:
     def __init__(self) -> None:
         self._starts: List[int] = []
         self._spans: List[Span] = []
+        self._covered = 0  # maintained by set_range/clear_range
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -39,18 +40,26 @@ class RangeMap:
         return self._spans[-1][1] if self._spans else 0
 
     def covered_bytes(self) -> int:
-        return sum(e - s for s, e, _ in self._spans)
+        """Total mapped bytes — O(1), the counter is kept on mutation
+        (``SegmentStore.bytes_stored`` sums these per-version counters
+        into its own store-wide counter)."""
+        return self._covered
 
     # -- mutation ---------------------------------------------------------
-    def set_range(self, start: int, end: int, value: Any) -> None:
-        """Map [start, end) to ``value``, splitting/overwriting overlaps."""
+    def set_range(self, start: int, end: int, value: Any) -> int:
+        """Map [start, end) to ``value``, splitting/overwriting overlaps.
+
+        Returns the number of *newly covered* bytes (the coverage delta —
+        0 when the whole range was already mapped)."""
         if start >= end:
             raise ValueError(f"empty range [{start}, {end})")
         new_spans: List[Span] = []
+        overlapped = 0
         for s, e, v in self._spans:
             if e <= start or s >= end:
                 new_spans.append((s, e, v))
                 continue
+            overlapped += min(e, end) - max(s, start)
             if s < start:
                 new_spans.append((s, start, v))
             if e > end:
@@ -59,26 +68,33 @@ class RangeMap:
         new_spans.sort(key=lambda sp: sp[0])
         self._spans = _coalesce(new_spans)
         self._starts = [s for s, _, _ in self._spans]
+        added = (end - start) - overlapped
+        self._covered += added
+        return added
 
-    def clear_range(self, start: int, end: int) -> None:
-        """Unmap [start, end)."""
+    def clear_range(self, start: int, end: int) -> int:
+        """Unmap [start, end); returns the number of bytes uncovered."""
         if start >= end:
-            return
+            return 0
         out: List[Span] = []
+        removed = 0
         for s, e, v in self._spans:
             if e <= start or s >= end:
                 out.append((s, e, v))
                 continue
+            removed += min(e, end) - max(s, start)
             if s < start:
                 out.append((s, start, v))
             if e > end:
                 out.append((end, e, v))
         self._spans = out
         self._starts = [s for s, _, _ in self._spans]
+        self._covered -= removed
+        return removed
 
-    def truncate(self, size: int) -> None:
-        """Drop everything at or beyond ``size``."""
-        self.clear_range(size, max(size, self.end))
+    def truncate(self, size: int) -> int:
+        """Drop everything at or beyond ``size``; returns bytes uncovered."""
+        return self.clear_range(size, max(size, self.end))
 
     # -- queries ------------------------------------------------------------
     def slices(self, start: int, end: int) -> List[Span]:
@@ -130,6 +146,8 @@ class RangeMap:
                     assert v != prev_val, "uncoalesced adjacent equal spans"
             prev_end, prev_val = e, v
         assert self._starts == [s for s, _, _ in self._spans]
+        assert self._covered == sum(e - s for s, e, _ in self._spans), \
+            "covered-bytes counter drifted from the span list"
 
 
 def _coalesce(spans: List[Span]) -> List[Span]:

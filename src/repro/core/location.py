@@ -34,11 +34,34 @@ class OwnerRecord:
 
 
 class LocationTable:
-    """SegID → {owner → OwnerRecord} with age-based garbage collection."""
+    """SegID → {owner → OwnerRecord} with age-based garbage collection.
+
+    Two auxiliary indices keep the table's cluster-event paths
+    proportional to the work at hand rather than the table size:
+
+    * ``_by_owner`` (owner → segid set) makes ``drop_owner`` — fired on
+      every membership death, on every provider — O(segments that host
+      actually owned), not a sweep of every entry homed here.
+    * a refresh wheel (records bucketed by ``int(last_refresh /
+      _WHEEL_TICK)``) makes ``purge`` O(stale records found), not a
+      sweep: refreshed records migrate to young buckets on update, so
+      old buckets hold only garbage.
+    """
+
+    #: Refresh-wheel bucket width (sim-seconds).  Purge ages are multiples
+    #: of the refresh cycle (seconds to minutes), so 1 s buckets keep the
+    #: boundary-bucket exact check cheap while bounding bucket counts.
+    _WHEEL_TICK = 1.0
 
     def __init__(self) -> None:
         self._entries: Dict[int, Dict[str, OwnerRecord]] = {}
         self._first_seen: Dict[int, float] = {}
+        self._by_owner: Dict[str, set] = {}
+        self._ins_seq: Dict[int, int] = {}   # segid → insertion sequence
+        self._next_seq = 0
+        self._rwheel: Dict[int, set] = {}    # tick → {(segid, owner)}
+        self._rtick: Dict[Tuple[int, str], int] = {}
+        self._rmin = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -49,43 +72,94 @@ class LocationTable:
     def segids(self) -> List[int]:
         return list(self._entries)
 
+    # -- index plumbing -----------------------------------------------------
+    def _rebucket(self, segid: int, owner: str, when: float) -> None:
+        key = (segid, owner)
+        tick = int(when / self._WHEEL_TICK)
+        old = self._rtick.get(key)
+        if old == tick:
+            return
+        if old is not None:
+            bucket = self._rwheel.get(old)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._rwheel[old]
+        self._rwheel.setdefault(tick, set()).add(key)
+        self._rtick[key] = tick
+
+    def _unindex(self, segid: int, owner: str) -> None:
+        segids = self._by_owner.get(owner)
+        if segids is not None:
+            segids.discard(segid)
+            if not segids:
+                del self._by_owner[owner]
+        key = (segid, owner)
+        old = self._rtick.pop(key, None)
+        if old is not None:
+            bucket = self._rwheel.get(old)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._rwheel[old]
+
+    def _drop_segid(self, segid: int) -> None:
+        del self._entries[segid]
+        self._first_seen.pop(segid, None)
+        self._ins_seq.pop(segid, None)
+
     # -- updates ------------------------------------------------------------
     def update(self, segid: int, owner: str, version: int, degree: int,
                size: int, now: float) -> None:
         """Insert or refresh one owner's record."""
-        owners = self._entries.setdefault(segid, {})
-        self._first_seen.setdefault(segid, now)
+        owners = self._entries.get(segid)
+        if owners is None:
+            owners = self._entries[segid] = {}
+            self._first_seen[segid] = now
+            self._ins_seq[segid] = self._next_seq
+            self._next_seq += 1
         rec = owners.get(owner)
+        if rec is None:
+            self._by_owner.setdefault(owner, set()).add(segid)
         if rec is None or version >= rec.version:
             owners[owner] = OwnerRecord(version, degree, size, now)
         else:
             rec.last_refresh = now  # stale announce still proves liveness
+        self._rebucket(segid, owner, now)
 
     def remove(self, segid: int, owner: str) -> None:
         """Drop one owner's record (segment deleted or migrated away)."""
         owners = self._entries.get(segid)
         if owners is None:
             return
-        owners.pop(owner, None)
+        if owners.pop(owner, None) is not None:
+            self._unindex(segid, owner)
         if not owners:
-            del self._entries[segid]
-            self._first_seen.pop(segid, None)
+            self._drop_segid(segid)
 
     def drop_owner(self, hostid: str) -> List[int]:
         """Node departure: purge every record owned by ``hostid``.
 
         Returns the SegIDs affected (the provider re-checks their
-        replication degree afterwards).
+        replication degree afterwards), in table-insertion order — the
+        order the pre-index full scan produced.
         """
-        affected = []
-        for segid in list(self._entries):
+        segids = self._by_owner.pop(hostid, None)
+        if not segids:
+            return []
+        affected = sorted(segids, key=self._ins_seq.__getitem__)
+        for segid in affected:
             owners = self._entries[segid]
-            if hostid in owners:
-                del owners[hostid]
-                affected.append(segid)
-                if not owners:
-                    del self._entries[segid]
-                    self._first_seen.pop(segid, None)
+            del owners[hostid]
+            key = (segid, hostid)
+            old = self._rtick.pop(key)
+            bucket = self._rwheel.get(old)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._rwheel[old]
+            if not owners:
+                self._drop_segid(segid)
         return affected
 
     # -- queries ------------------------------------------------------------
@@ -148,16 +222,31 @@ class LocationTable:
         entries will never be refreshed, the latter can be identified
         based on their ages and eventually be purged."
         """
+        cutoff = now - max_age
+        limit = int(cutoff / self._WHEEL_TICK)
+        if limit < self._rmin:
+            return 0
         purged = 0
-        for segid in list(self._entries):
-            owners = self._entries[segid]
-            for host in list(owners):
-                if owners[host].last_refresh < now - max_age:
-                    del owners[host]
-                    purged += 1
-            if not owners:
-                del self._entries[segid]
-                self._first_seen.pop(segid, None)
+        for t in range(self._rmin, limit + 1):
+            bucket = self._rwheel.get(t)
+            if not bucket:
+                self._rwheel.pop(t, None)
+                continue
+            # Only the boundary bucket can mix fresh and stale records;
+            # the exact compare keeps float-edge behaviour identical to
+            # the old full scan.
+            stale = [(s, h) for (s, h) in bucket
+                     if self._entries[s][h].last_refresh < cutoff]
+            for segid, host in stale:
+                owners = self._entries[segid]
+                del owners[host]
+                self._unindex(segid, host)
+                purged += 1
+                if not owners:
+                    self._drop_segid(segid)
+            if not self._rwheel.get(t):
+                self._rwheel.pop(t, None)
+        self._rmin = limit if limit in self._rwheel else limit + 1
         return purged
 
 

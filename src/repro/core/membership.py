@@ -42,7 +42,19 @@ class ProviderInfo:
 
 
 class MembershipManager:
-    """Runs on every cluster node; providers also announce."""
+    """Runs on every cluster node; providers also announce.
+
+    Scale-mindful internals:
+
+    * Death checks use an *expiry wheel*: hosts are bucketed by the
+      heartbeat tick ``int(last_seen / interval)``, and each check pass
+      drains only the buckets whose tick can contain an expired host —
+      O(expired) per pass instead of scanning every member.
+    * ``snapshot()`` and ``live_providers()`` are generation-cached:
+      the hot placement path stops copying the full member dict per
+      call.  The returned objects are *shared and read-only* (the
+      values are frozen dataclasses; callers never mutate the views).
+    """
 
     def __init__(self, node, interval: float = DEFAULT_INTERVAL,
                  announce: bool = False):
@@ -53,6 +65,18 @@ class MembershipManager:
         self.on_join: List[Callable[[str], None]] = []
         self.on_leave: List[Callable[[str], None]] = []
         self.announce = announce
+        # Expiry wheel: tick → set of hosts whose last_seen falls in it.
+        self._wheel: Dict[int, set] = {}
+        self._tick: Dict[str, int] = {}
+        self._min_tick = 0
+        # Generation counters: _gen bumps on any member change, _key_gen
+        # only when the *set* of hosts changes (join/death).
+        self._gen = 0
+        self._key_gen = 0
+        self._snap: Dict[str, ProviderInfo] = {}
+        self._snap_gen = -1
+        self._live: List[str] = []
+        self._live_gen = -1
         self.rpc = node.runtime
         self.rpc.subscribe(HEARTBEAT_GROUP)
         self.rpc.register("heartbeat", self._on_heartbeat)
@@ -66,21 +90,44 @@ class MembershipManager:
             # A provider is immediately a member of its own view.
             self._observe(self._self_info())
 
+    def clear(self) -> None:
+        """Forget the whole view (provider restart: the view is soft
+        state and rebuilds from heartbeats).  Fires no leave callbacks —
+        a restart is not a death verdict on everyone else."""
+        self.members.clear()
+        self._wheel.clear()
+        self._tick.clear()
+        self._min_tick = int(self.sim.now / self.interval)
+        self._gen += 1
+        self._key_gen += 1
+
     # -- views ------------------------------------------------------------
     def live_providers(self) -> List[str]:
-        return sorted(self.members)
+        """Sorted live hostids — cached until the host *set* changes.
+
+        Callers must treat the list as read-only (they do: it feeds ring
+        lookups and iteration).  Sharing one object also lets the hash
+        ring's identity fast path skip reconciliation entirely."""
+        if self._live_gen != self._key_gen:
+            self._live = sorted(self.members)
+            self._live_gen = self._key_gen
+        return self._live
 
     def info(self, hostid: str) -> Optional[ProviderInfo]:
         return self.members.get(hostid)
 
     def snapshot(self) -> Dict[str, ProviderInfo]:
-        """A stable copy of the current membership view.
+        """A stable view of the current membership — cached per
+        generation, rebuilt only after a membership mutation.
 
-        A shallow dict copy suffices: ``_observe``/``_on_heartbeat``
-        always install *new* ``ProviderInfo`` objects, never mutate one
-        in place, so the values are immutable from the caller's side.
-        This runs on every placement decision — it is hot."""
-        return dict(self.members)
+        The values are immutable (``_observe``/``_on_heartbeat`` always
+        install *new* frozen ``ProviderInfo`` objects) and no caller
+        mutates the dict, so one shared object serves every placement
+        decision between heartbeats."""
+        if self._snap_gen != self._gen:
+            self._snap = dict(self.members)
+            self._snap_gen = self._gen
+        return self._snap
 
     def __contains__(self, hostid: str) -> bool:
         return hostid in self.members
@@ -117,17 +164,61 @@ class MembershipManager:
         self._observe(arrived)
 
     def _observe(self, info: ProviderInfo) -> None:
-        is_new = info.hostid not in self.members
-        self.members[info.hostid] = info
+        hostid = info.hostid
+        is_new = hostid not in self.members
+        self.members[hostid] = info
+        self._gen += 1
+        # Re-bucket on the expiry wheel.
+        tick = int(info.last_seen / self.interval)
+        old = self._tick.get(hostid)
+        if old != tick:
+            if old is not None:
+                bucket = self._wheel.get(old)
+                if bucket is not None:
+                    bucket.discard(hostid)
+                    if not bucket:
+                        del self._wheel[old]
+            self._wheel.setdefault(tick, set()).add(hostid)
+            self._tick[hostid] = tick
         if is_new:
+            self._key_gen += 1
             for cb in list(self.on_join):
-                cb(info.hostid)
+                cb(hostid)
 
     def _check_loop(self):
         while True:
             yield self.sim.timeout(self.interval)
             deadline = self.sim.now - DEATH_FACTOR * self.interval
-            dead = [h for h, i in self.members.items() if i.last_seen < deadline]
+            # Only buckets up to the deadline's tick can hold an expired
+            # host; the boundary bucket needs the exact float compare
+            # (its hosts may sit either side of the deadline).
+            limit = int(deadline / self.interval)
+            if limit < self._min_tick:
+                continue
+            dead_set = set()
+            for t in range(self._min_tick, limit + 1):
+                bucket = self._wheel.get(t)
+                if not bucket:
+                    self._wheel.pop(t, None)
+                    continue
+                expired = [h for h in bucket
+                           if self.members[h].last_seen < deadline]
+                for h in expired:
+                    bucket.discard(h)
+                    del self._tick[h]
+                    dead_set.add(h)
+                if not bucket:
+                    del self._wheel[t]
+            # Advance past fully drained ticks (the boundary bucket may
+            # legitimately keep fresh-enough hosts).
+            self._min_tick = limit if limit in self._wheel else limit + 1
+            if not dead_set:
+                continue
+            # Deaths fire in member-insertion order — the order the old
+            # full scan produced; replay goldens depend on it.
+            dead = [h for h in self.members if h in dead_set]
+            self._gen += 1
+            self._key_gen += 1
             for hostid in dead:
                 del self.members[hostid]
                 for cb in list(self.on_leave):

@@ -94,6 +94,11 @@ class StorageProvider:
         self.membership = MembershipManager(
             node, interval=self.params.heartbeat_interval, announce=True
         )
+        # Membership events drive the consistent-hash ring incrementally:
+        # a join/leave splices that host's vnode points instead of the
+        # ring rebuilding from the full member list on the next lookup.
+        self.membership.on_join.append(self.ring.add_host)
+        self.membership.on_leave.append(self.ring.remove_host)
         self.membership.on_join.append(self._on_join)
         self.membership.on_leave.append(self._on_leave)
         # "we only allow one active data migration process per node"
@@ -138,7 +143,7 @@ class StorageProvider:
             for fs_name in sorted(engine.take_lost()):
                 self.store.discard_lost(fs_name)
         self.loc = LocationTable()
-        self.membership.members.clear()
+        self.membership.clear()
         self.membership.start()
         self.start()
         # Announce surviving segments to their home hosts right away.

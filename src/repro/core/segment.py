@@ -14,6 +14,7 @@ the benchmark workloads run without allocating gigabytes.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -66,13 +67,96 @@ class StoredSegment:
 
 
 class SegmentStore:
-    """All segment versions on one provider, backed by its local FS."""
+    """All segment versions on one provider, backed by its local FS.
+
+    ``_segs`` is the source of truth; alongside it the store maintains
+    secondary indices so the hot queries — ``versions_of``,
+    ``latest_committed``, ``committed_segments``, ``bytes_stored`` —
+    never scan every stored version:
+
+    * ``_versions``: segid → sorted version numbers held here.
+    * ``_latest``: segid → the newest *committed* version's object.
+    * ``_commit_seq``: segid → smallest insertion sequence among its
+      committed versions.  ``committed_segments`` orders by this, which
+      reproduces the legacy full-scan order (position of the first
+      committed version in ``_segs`` insertion order) bit-for-bit — the
+      replay goldens depend on that order.
+    * ``_bytes``: store-wide extent-byte counter, adjusted by the delta
+      of every extent mutation.
+
+    All mutations go through ``_add``/``_remove``/``_note_committed``;
+    ``check_index_invariants`` recomputes everything by scan and is
+    asserted against the indices in the property tests.
+    """
 
     def __init__(self, sim, fs: LocalFS, shadow_ttl: float = DEFAULT_SHADOW_TTL):
         self.sim = sim
         self.fs = fs
         self.shadow_ttl = shadow_ttl
         self._segs: Dict[Tuple[int, int], StoredSegment] = {}
+        self._seq: Dict[Tuple[int, int], int] = {}   # insertion sequence
+        self._next_seq = 0
+        self._versions: Dict[int, List[int]] = {}
+        self._latest: Dict[int, StoredSegment] = {}
+        self._commit_seq: Dict[int, int] = {}
+        self._bytes = 0
+
+    # -- index maintenance --------------------------------------------
+    def _add(self, key: Tuple[int, int], seg: StoredSegment) -> None:
+        """Insert a version and index it (the only write path to _segs)."""
+        self._segs[key] = seg
+        self._seq[key] = self._next_seq
+        self._next_seq += 1
+        vers = self._versions.setdefault(seg.segid, [])
+        i = bisect.bisect_left(vers, seg.version)
+        vers.insert(i, seg.version)
+        self._bytes += seg.extents.covered_bytes()
+        if seg.committed:
+            self._note_committed(seg)
+
+    def _note_committed(self, seg: StoredSegment) -> None:
+        """Index a committed version (at insert or at commit time)."""
+        cur = self._latest.get(seg.segid)
+        if cur is None or seg.version > cur.version:
+            self._latest[seg.segid] = seg
+        sq = self._seq[(seg.segid, seg.version)]
+        prev = self._commit_seq.get(seg.segid)
+        if prev is None or sq < prev:
+            self._commit_seq[seg.segid] = sq
+
+    def _remove(self, key: Tuple[int, int]) -> Optional[StoredSegment]:
+        """Drop a version and unindex it (the only removal path)."""
+        seg = self._segs.pop(key, None)
+        if seg is None:
+            return None
+        self._seq.pop(key)
+        segid, version = key
+        vers = self._versions[segid]
+        vers.remove(version)
+        if not vers:
+            del self._versions[segid]
+        self._bytes -= seg.extents.covered_bytes()
+        if seg.committed:
+            # Recompute this segid's committed caches over its own
+            # (few) remaining versions.
+            best: Optional[StoredSegment] = None
+            min_sq: Optional[int] = None
+            for v in self._versions.get(segid, ()):
+                other = self._segs[(segid, v)]
+                if not other.committed:
+                    continue
+                if best is None or v > best.version:
+                    best = other
+                osq = self._seq[(segid, v)]
+                if min_sq is None or osq < min_sq:
+                    min_sq = osq
+            if best is None:
+                self._latest.pop(segid, None)
+                self._commit_seq.pop(segid, None)
+            else:
+                self._latest[segid] = best
+                self._commit_seq[segid] = min_sq
+        return seg
 
     # -- inspection ---------------------------------------------------
     def get(self, segid: int, version: int) -> Optional[StoredSegment]:
@@ -81,30 +165,53 @@ class SegmentStore:
 
     def versions_of(self, segid: int) -> List[int]:
         """All locally held version numbers, ascending."""
-        return sorted(v for (s, v) in self._segs if s == segid)
+        return list(self._versions.get(segid, ()))
 
     def latest_committed(self, segid: int) -> Optional[StoredSegment]:
         """Newest committed version held here, or None."""
-        best = None
-        for (s, v), seg in self._segs.items():
-            if s == segid and seg.committed and (best is None or v > best.version):
-                best = seg
-        return best
+        return self._latest.get(segid)
 
     def committed_segments(self) -> List[StoredSegment]:
         """Latest committed version of every segment held here."""
-        latest: Dict[int, StoredSegment] = {}
-        for (s, v), seg in self._segs.items():
-            if seg.committed and (s not in latest or v > latest[s].version):
-                latest[s] = seg
-        return list(latest.values())
+        seq = self._commit_seq
+        return [self._latest[s] for s in sorted(self._latest,
+                                                key=seq.__getitem__)]
 
     def __len__(self) -> int:
         return len(self._segs)
 
     def bytes_stored(self) -> int:
-        """Total extent bytes across every held version."""
-        return sum(seg.written_bytes() for seg in self._segs.values())
+        """Total extent bytes across every held version (O(1) counter)."""
+        return self._bytes
+
+    def check_index_invariants(self) -> None:
+        """Recompute every index by full scan and assert equality.
+
+        Test hook: the equivalence/property tests call this after random
+        mutation sequences; production code never does.
+        """
+        versions: Dict[int, List[int]] = {}
+        for (s, v) in self._segs:
+            versions.setdefault(s, []).append(v)
+        assert self._versions == {s: sorted(vs) for s, vs in versions.items()}
+        latest: Dict[int, StoredSegment] = {}
+        commit_seq: Dict[int, int] = {}
+        for key, seg in self._segs.items():
+            s = key[0]
+            if not seg.committed:
+                continue
+            if s not in latest or seg.version > latest[s].version:
+                latest[s] = seg
+            if s not in commit_seq:  # _segs iterates in insertion order
+                commit_seq[s] = self._seq[key]
+        assert {s: id(seg) for s, seg in self._latest.items()} \
+            == {s: id(seg) for s, seg in latest.items()}
+        assert self._commit_seq == commit_seq
+        assert self._bytes == sum(seg.extents.covered_bytes()
+                                  for seg in self._segs.values())
+        assert set(self._seq) == set(self._segs)
+        for seg in self._segs.values():
+            seg.extents.check_invariants()
 
     # -- creation ---------------------------------------------------------
     def create(self, segid: int, version: int = 1, *,
@@ -123,12 +230,12 @@ class SegmentStore:
         if not committed:
             seg.expires_at = self.sim.now + self.shadow_ttl
         # Reserve the key before yielding so concurrent creators see it.
-        self._segs[key] = seg
+        self._add(key, seg)
         try:
             # Lazy: the inode write is folded into the first data write.
             yield from self.fs.create(seg.fs_name, charge=False)
         except Exception:
-            del self._segs[key]
+            self._remove(key)
             raise
         return seg
 
@@ -151,14 +258,14 @@ class SegmentStore:
                             expires_at=self.sim.now + self.shadow_ttl,
                             home_hint=base.home_hint, created_by=creator,
                             meta=dict(base.meta) if base.meta else None)
-        self._segs[key] = seg
+        self._add(key, seg)
         try:
             # A shadow is "an index structure kept in memory" until data
             # arrives (Section 3.5): no device I/O at creation.
             yield from self.fs.create(seg.fs_name, charge=False)
             self.fs.set_size(seg.fs_name, base.size)
         except Exception:
-            self._segs.pop(key, None)
+            self._remove(key)
             raise
         return seg
 
@@ -174,7 +281,7 @@ class SegmentStore:
         if data is not None and len(data) != length:
             raise SegmentError("data/length mismatch")
         if length > 0:
-            seg.extents.set_range(
+            self._bytes += seg.extents.set_range(
                 offset, offset + length,
                 (offset, bytes(data)) if data is not None else SYNTHETIC)
         seg.size = max(seg.size, offset + length)
@@ -194,7 +301,7 @@ class SegmentStore:
         if data is not None and len(data) != length:
             raise SegmentError("data/length mismatch")
         if length > 0:
-            seg.extents.set_range(
+            self._bytes += seg.extents.set_range(
                 offset, offset + length,
                 (offset, bytes(data)) if data is not None else SYNTHETIC)
         seg.size = max(seg.size, offset + length)
@@ -208,7 +315,7 @@ class SegmentStore:
         if seg.committed:
             raise SegmentError("cannot truncate a committed version")
         seg.size = size
-        seg.extents.truncate(size)
+        self._bytes -= seg.extents.truncate(size)
         yield from self.fs.truncate(seg.fs_name, size)
 
     def commit(self, segid: int, version: int):
@@ -223,6 +330,7 @@ class SegmentStore:
             return seg
         seg.committed = True
         seg.expires_at = None
+        self._note_committed(seg)
         if len(seg.extents) > 0 and seg.meta is None:
             yield self.fs.meta_io()
         # Commit is the durability edge: write-back data for this version
@@ -232,7 +340,7 @@ class SegmentStore:
 
     def drop(self, segid: int, version: int):
         """Discard a version (aborted shadow, or replaced replica)."""
-        seg = self._segs.pop((segid, version), None)
+        seg = self._remove((segid, version))
         if seg is None:
             return
         if self.fs.exists(seg.fs_name):
@@ -246,7 +354,7 @@ class SegmentStore:
         """
         any_allocated = False
         for v in self.versions_of(segid):
-            seg = self._segs.pop((segid, v))
+            seg = self._remove((segid, v))
             f = self.fs.files.pop(seg.fs_name, None)
             if f is not None:
                 self.fs.used -= f.allocated
@@ -272,7 +380,7 @@ class SegmentStore:
         seg = self._segs.get(key)
         if seg is None or seg.committed:
             return None
-        del self._segs[key]
+        self._remove(key)
         f = self.fs.files.pop(fs_name, None)
         if f is not None:
             self.fs.used -= f.allocated
@@ -380,7 +488,7 @@ class SegmentStore:
         if size > 0:
             seg.extents.set_range(0, size,
                                   (0, bytes(data)) if data is not None else SYNTHETIC)
-        self._segs[key] = seg
+        self._add(key, seg)
         nbytes = size if write_bytes is None else min(write_bytes, size)
         try:
             yield from self.fs.create(seg.fs_name, charge=False)
@@ -401,7 +509,7 @@ class SegmentStore:
                     f.allocated = size
                     self.fs.used += growth
         except Exception:
-            self._segs.pop(key, None)
+            self._remove(key)
             if self.fs.exists(seg.fs_name):
                 yield from self.fs.unlink(seg.fs_name)
             raise
@@ -462,7 +570,7 @@ class SegmentStore:
             seg.extents.set_range(
                 s, e, (s, bytes(data)) if data is not None else SYNTHETIC)
             nbytes += e - s
-        self._segs[key] = seg
+        self._add(key, seg)
         try:
             yield from self.fs.create(seg.fs_name, charge=False)
             if nbytes > 0:
@@ -471,7 +579,7 @@ class SegmentStore:
                 yield from self.fs.sync(seg.fs_name)  # committed on arrival
             self.fs.set_size(seg.fs_name, size)
         except Exception:
-            self._segs.pop(key, None)
+            self._remove(key)
             raise
         return seg
 
@@ -538,13 +646,44 @@ class SegmentStore:
                 for cs, ce, val in src.extents.slices(s, e):
                     if isinstance(val, tuple):
                         orig, payload = val
-                        seg.extents.set_range(
+                        self._bytes += seg.extents.set_range(
                             cs, ce, (cs, payload[cs - orig:ce - orig])
                         )
                     elif val is not None:
-                        seg.extents.set_range(cs, ce, SYNTHETIC)
+                        self._bytes += seg.extents.set_range(cs, ce, SYNTHETIC)
             yield from self.fs.write(seg.fs_name, lo, hi - lo)
         seg.base_version = None
+
+    # -- out-of-band state injection (preload & failure harnesses) --------
+    def plant(self, seg: StoredSegment) -> StoredSegment:
+        """Install a fully-formed version with zero simulated I/O.
+
+        Benchmark preloading and test fixtures only: the caller has
+        already built the :class:`StoredSegment` (extents included) and
+        does its own FS accounting.  Goes through the indexed insert
+        path so every query stays coherent.
+        """
+        key = (seg.segid, seg.version)
+        if key in self._segs:
+            raise SegmentError(f"already hold {seg.segid:#x} v{seg.version}")
+        self._add(key, seg)
+        return seg
+
+    def lose_segment(self, segid: int) -> None:
+        """Silently forget every version of one segment (failure
+        injection: replica loss behind the system's back, no FS I/O)."""
+        for v in self.versions_of(segid):
+            self._remove((segid, v))
+
+    def wipe(self) -> None:
+        """Forget everything (wiped-disk failure injection).  The caller
+        resets the backing FS separately."""
+        self._segs.clear()
+        self._seq.clear()
+        self._versions.clear()
+        self._latest.clear()
+        self._commit_seq.clear()
+        self._bytes = 0
 
     # -- helpers ----------------------------------------------------------
     def _require(self, segid: int, version: int) -> StoredSegment:

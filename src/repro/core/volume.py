@@ -199,13 +199,25 @@ class SorrentoDeployment:
         from repro.core.namespace import FileEntry, _file_key
         from repro.core.segment import SYNTHETIC, StoredSegment
 
+        from repro.core.hashing import HashRing
+        from repro.storage.filesystem import _File
+
         rng = self.rngs.py(f"preload:{path}")
         hosts = on or sorted(self.providers)
         fileid = self.rngs.py("preload-ids").getrandbits(128)
         layout = make_layout("linear", lambda: rng.getrandbits(128))
         layout.grow_to(size, lambda: rng.getrandbits(128))
         start = rng.randrange(len(hosts))
-        members = sorted(self.providers)
+        # One scratch ring + one member-view object shared across every
+        # preload call: the ring is a pure function of (members, vnodes),
+        # so this computes the same homes the providers will, without
+        # warming a thousand per-provider rings — and passing the *same*
+        # list object each time hits the ring's identity fast path.
+        members = getattr(self, "_preload_view", None)
+        if members is None or len(members) != len(self.providers):
+            members = self._preload_view = sorted(self.providers)
+            self._preload_ring = HashRing(self.params.ring_vnodes)
+        ring = self._preload_ring
 
         def plant(segid, seg_size, meta, idx):
             owners = [hosts[(start + idx + r) % len(hosts)]
@@ -220,14 +232,12 @@ class SorrentoDeployment:
                 )
                 if seg_size > 0:
                     seg.extents.set_range(0, seg_size, SYNTHETIC)
-                provider.store._segs[(segid, 1)] = seg
+                provider.store.plant(seg)
                 # Direct FS accounting (no simulated I/O):
-                from repro.storage.filesystem import _File
-
                 fs = provider.node.fs
                 fs.files[seg.fs_name] = _File(size=seg_size, allocated=seg_size)
                 fs.used += seg_size
-                home = provider.ring.home_host(segid, members)
+                home = ring.home_host(segid, members)
                 self.providers[home].loc.update(
                     segid, owner, 1, degree, seg_size, self.sim.now)
 

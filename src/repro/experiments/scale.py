@@ -1,0 +1,306 @@
+"""Scale suite: Sorrento state machinery at 100-1000 providers.
+
+The paper's clusters top out at 46 nodes; Section 6 argues the design
+"self-organizes" to much larger installations.  This suite puts that to
+the test on the simulator itself: it builds clusters of 100, 300, and
+1000 providers, preloads 10^5-scale file populations, and drives
+thousands of short client sessions whose arrival pattern mimics a large
+user base — tenants picked by a Zipf law (a few hot tenants, a long
+tail) and arrival times following a diurnal wave (load peaks and
+troughs) — then reports how fast the simulation itself runs
+(sim-seconds per wall-second), how much memory the cluster state takes
+(peak RSS), and whether the protocol stack kept up (session success
+rate).
+
+These numbers are the regression surface for the scale-out state
+refactor: incremental hash ring, indexed segment store, expiry-wheel
+membership, and owner-indexed location tables.  Before that refactor, a
+1000-provider point did not finish in CI-feasible time.
+
+Runs standalone::
+
+    python -m repro.experiments.scale [--quick] [--point N]
+        [--files F] [--sessions S] [--duration D] [--json]
+        [--budget-wall S] [--budget-rss-mb M]
+
+``--json`` prints one machine-readable result dict per point (used by
+``repro.bench.scale_bench``, which forks one process per point so peak
+RSS is attributable).  The ``--budget-*`` flags make the process exit
+non-zero when a budget is exceeded (the CI ``scale-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.params import SorrentoParams
+from repro.experiments.common import format_table, run_until_done
+
+KB = 1 << 10
+GB = 1 << 30
+
+#: (providers, files, sessions, sim-seconds of measured traffic).
+SCALE_POINTS: Tuple[Tuple[int, int, int, float], ...] = (
+    (100, 100_000, 2_000, 10.0),
+    (300, 200_000, 3_000, 10.0),
+    (1000, 200_000, 4_000, 10.0),
+)
+QUICK_POINTS: Tuple[Tuple[int, int, int, float], ...] = (
+    (100, 20_000, 500, 6.0),
+)
+
+N_TENANTS = 64
+ZIPF_S = 1.1           # tenant popularity exponent
+DIURNAL_WAVES = 2      # load peaks across the run
+DIURNAL_AMPLITUDE = 0.8
+FILE_SIZE = 16 * KB
+READ_SIZE = 8 * KB
+N_CLIENT_STUBS = 16
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set of this process in MB (0.0 if unsupported).
+
+    ``ru_maxrss`` is monotone over the process lifetime, so a multi-point
+    in-process run attributes every point the high-water mark of the
+    whole run; ``scale_bench`` forks one process per point to get
+    honest per-size numbers.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return 0.0
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def scale_params(n_providers: int) -> SorrentoParams:
+    """Tunables for big-cluster runs.
+
+    The heartbeat channel is O(providers^2) deliveries per interval —
+    the protocol's real cost, which the suite deliberately simulates —
+    so the announcement period grows with the cluster, as any real
+    deployment's would.  Background optimizers (migration) idle: the
+    suite measures the steady serving path.
+    """
+    if n_providers >= 1000:
+        heartbeat, vnodes = 10.0, 8
+    elif n_providers >= 300:
+        heartbeat, vnodes = 5.0, 16
+    elif n_providers >= 100:
+        heartbeat, vnodes = 5.0, 64
+    else:
+        heartbeat, vnodes = 1.0, 64
+    return SorrentoParams(
+        heartbeat_interval=heartbeat,
+        refresh_cycle=120.0,
+        migration_interval=600.0,
+        ring_vnodes=vnodes,
+        # Cluster formation fires P^2 join-refresh tasks (every provider
+        # refreshes toward every joined peer).  The suite drains that
+        # storm against *empty* stores during warm-up — so the window
+        # can be short — and only then preloads the file population.
+        join_refresh_delay_max=2.0,
+    )
+
+
+def _tenant_file(tenant: int, i: int) -> str:
+    return f"/t{tenant:02d}/f{i:06d}"
+
+
+def _zipf_cum_weights(n: int, s: float) -> List[float]:
+    total, cum = 0.0, []
+    for rank in range(n):
+        total += 1.0 / (rank + 1) ** s
+        cum.append(total)
+    return cum
+
+
+def _diurnal_cum_weights(bins: int) -> List[float]:
+    """Cumulative weights of a sinusoidal arrival-rate wave."""
+    total, cum = 0.0, []
+    for b in range(bins):
+        t = (b + 0.5) / bins
+        rate = 1.0 + DIURNAL_AMPLITUDE * math.sin(
+            2.0 * math.pi * DIURNAL_WAVES * t - math.pi / 2.0)
+        total += max(rate, 0.05)
+        cum.append(total)
+    return cum
+
+
+def _session(client, path: str, delay: float, counters: Dict[str, int]):
+    """One user session: arrive, open, read, close."""
+    yield client.sim.timeout(delay)
+    try:
+        fh = yield from client.open(path, "r")
+        yield from client.read(fh, 0, READ_SIZE)
+        yield from client.close(fh)
+        counters["done"] += 1
+    except Exception:
+        counters["failed"] += 1
+
+
+def run_point(n_providers: int, n_files: int, n_sessions: int,
+              duration: float, seed: int = 0) -> Dict[str, float]:
+    """Build, preload, and drive one cluster size; returns the metrics row."""
+    params = scale_params(n_providers)
+    t_build = time.perf_counter()
+    spec = small_cluster(n_providers, n_compute=N_CLIENT_STUBS + 4,
+                         capacity_per_node=4 * GB, name=f"scale-{n_providers}")
+    dep = SorrentoDeployment(spec, SorrentoConfig(params=params, seed=seed))
+
+    # One heartbeat round populates every membership view, and the P^2
+    # cluster-formation join-refresh storm drains while every store is
+    # still empty (each of its tasks iterates committed_segments()).
+    dep.warm_up(params.join_refresh_delay_max + 1.0)
+
+    # Then preload the file population (planted directly, no simulated
+    # I/O, so sim.now does not advance and no protocol traffic fires).
+    t_preload = time.perf_counter()
+    files_per_tenant = max(1, n_files // N_TENANTS)
+    for tenant in range(N_TENANTS):
+        for i in range(files_per_tenant):
+            dep.preload_file(_tenant_file(tenant, i), FILE_SIZE, degree=1)
+    preload_wall = time.perf_counter() - t_preload
+
+    # Thousands of sessions: Zipf tenant skew, diurnal arrival wave,
+    # multiplexed over a fixed pool of client stubs.
+    rng = dep.rngs.py("scale-sessions")
+    clients = dep.clients_on_compute(N_CLIENT_STUBS)
+    tenant_cum = _zipf_cum_weights(N_TENANTS, ZIPF_S)
+    bins = 96
+    diurnal_cum = _diurnal_cum_weights(bins)
+    tenants = rng.choices(range(N_TENANTS), cum_weights=tenant_cum,
+                          k=n_sessions)
+    arrival_bins = rng.choices(range(bins), cum_weights=diurnal_cum,
+                               k=n_sessions)
+    counters = {"done": 0, "failed": 0}
+    procs = []
+    for i in range(n_sessions):
+        path = _tenant_file(tenants[i],
+                            rng.randrange(files_per_tenant))
+        arrival = (arrival_bins[i] + rng.random()) * (duration / bins)
+        procs.append(dep.sim.process(_session(
+            clients[i % N_CLIENT_STUBS], path, arrival, counters)))
+
+    t_run = time.perf_counter()
+    sim_start = dep.sim.now
+    run_until_done(dep.sim, procs, max_time=dep.sim.now + duration + 300.0)
+    wall = time.perf_counter() - t_run
+    sim_elapsed = dep.sim.now - sim_start
+
+    return {
+        "providers": n_providers,
+        "files": N_TENANTS * files_per_tenant,
+        "sessions_done": counters["done"],
+        "sessions_failed": counters["failed"],
+        "sim_s": round(sim_elapsed, 3),
+        "wall_s": round(wall, 3),
+        "sim_per_wall": round(sim_elapsed / max(wall, 1e-9), 3),
+        "events": dep.sim._nprocessed,
+        "events_per_s": round(dep.sim._nprocessed / max(wall, 1e-9), 1),
+        "preload_wall_s": round(preload_wall, 3),
+        "total_wall_s": round(time.perf_counter() - t_build, 3),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+
+
+def run(points: Optional[Sequence[Tuple[int, int, int, float]]] = None,
+        quick: bool = False, seed: int = 0) -> Dict[int, Dict[str, float]]:
+    """Returns {n_providers: metrics row}."""
+    if points is None:
+        points = QUICK_POINTS if quick else SCALE_POINTS
+    results: Dict[int, Dict[str, float]] = {}
+    for n_providers, n_files, n_sessions, duration in points:
+        results[n_providers] = run_point(n_providers, n_files, n_sessions,
+                                         duration, seed=seed)
+    return results
+
+
+def report(results: Dict[int, Dict[str, float]]) -> str:
+    cols = ["providers", "files", "sessions_done", "sessions_failed",
+            "sim_s", "wall_s", "sim_per_wall", "events", "preload_wall_s",
+            "peak_rss_mb"]
+    rows = [[results[n][c] for c in cols] for n in sorted(results)]
+    return format_table(
+        "Scale - cluster state machinery at 100-1000 providers", cols, rows)
+
+
+def checks(results: Dict[int, Dict[str, float]]) -> List[str]:
+    """Shape assertions; returns a list of violated expectations."""
+    bad = []
+    for n, row in sorted(results.items()):
+        total = row["sessions_done"] + row["sessions_failed"]
+        if total == 0 or row["sessions_done"] < 0.95 * total:
+            bad.append(f"{n} providers: only {row['sessions_done']}/{total} "
+                       "sessions succeeded")
+        if row["sim_s"] <= 0:
+            bad.append(f"{n} providers: simulation did not advance")
+    return bad
+
+
+def main(quick: bool = False, seed: int = 0) -> str:
+    results = run(quick=quick, seed=seed)
+    text = report(results)
+    for problem in checks(results):
+        text += f"\nSHAPE VIOLATION: {problem}"
+    print(text)
+    return text
+
+
+def _cli(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--point", type=int, default=None,
+                        help="run only this provider count")
+    parser.add_argument("--files", type=int, default=None)
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable rows on stdout")
+    parser.add_argument("--budget-wall", type=float, default=None,
+                        help="fail if any point's wall_s exceeds this")
+    parser.add_argument("--budget-rss-mb", type=float, default=None,
+                        help="fail if peak RSS exceeds this")
+    args = parser.parse_args(argv)
+
+    points = QUICK_POINTS if args.quick else SCALE_POINTS
+    if args.point is not None:
+        base = next((p for p in SCALE_POINTS + QUICK_POINTS
+                     if p[0] == args.point),
+                    (args.point, 50_000, 1_000, 8.0))
+        points = [base]
+    if args.files or args.sessions or args.duration:
+        points = [(n, args.files or f, args.sessions or s,
+                   args.duration or d) for n, f, s, d in points]
+
+    results = run(points=points, seed=args.seed)
+    if args.json:
+        for n in sorted(results):
+            print(json.dumps(results[n]))
+    else:
+        print(report(results))
+
+    failures = checks(results)
+    for n, row in sorted(results.items()):
+        if args.budget_wall is not None and row["wall_s"] > args.budget_wall:
+            failures.append(f"{n} providers: wall {row['wall_s']}s over "
+                            f"budget {args.budget_wall}s")
+        if args.budget_rss_mb is not None \
+                and row["peak_rss_mb"] > args.budget_rss_mb:
+            failures.append(f"{n} providers: peak RSS {row['peak_rss_mb']}MB "
+                            f"over budget {args.budget_rss_mb}MB")
+    for problem in failures:
+        print(f"SCALE BUDGET/SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_cli())

@@ -219,6 +219,27 @@ def test_raw_disk_io_goes_through_the_storage_engine():
     )
 
 
+def test_segment_store_state_is_scanned_only_inside_the_store():
+    """The scale refactor replaced linear scans of ``SegmentStore._segs``
+    with maintained indices (``versions_of``/``latest_committed``/
+    ``committed_segments``/``bytes_stored``) plus explicit mutators
+    (``plant``/``lose_segment``/``wipe``).  Nothing outside
+    ``repro.core.segment`` may reach into the raw version map — a new
+    scan would silently reintroduce O(store) work on hot paths."""
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        if mod == "repro.core.segment":
+            continue
+        for node in ast.walk(ast.parse(path.read_text())):
+            if isinstance(node, ast.Attribute) and node.attr == "_segs":
+                offenders.append(f"{mod}:{node.lineno}")
+    assert offenders == [], (
+        "SegmentStore._segs accessed outside repro.core.segment: "
+        + ", ".join(offenders)
+    )
+
+
 def test_fault_injection_goes_through_the_fault_plane():
     """Experiments (and the other application-level packages) must inject
     faults declaratively via ``repro.faults`` — a ``FaultPlan`` executed by

@@ -199,7 +199,7 @@ def test_wiped_node_rejoins_empty_and_repopulates():
     dep.crash_provider(victim)
     dep.nodes[victim].fs.files.clear()
     dep.nodes[victim].fs.used = 0
-    dep.providers[victim].store._segs.clear()
+    dep.providers[victim].store.wipe()
     dep.sim.run(until=dep.sim.now + 15)
     dep.restart_provider(victim)
     dep.sim.run(until=dep.sim.now + 180)

@@ -2,15 +2,37 @@
 
 The location protocol's efficiency rests on the classic consistent-
 hashing guarantee: membership changes only remap keys touching the
-changed node.  These tests drive arbitrary join/leave sequences.
+changed node.  These tests drive arbitrary join/leave sequences, and —
+since the ring is maintained incrementally — prove that splicing vnode
+points in and out is indistinguishable from rebuilding from scratch,
+and that churn never triggers a rebuild or re-hashing.
 """
+
+import bisect
+import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.hashing import HashRing
+from repro.core.hashing import HashRing, _point
 
 KEYS = list(range(0, 3_000_000, 4099))  # ~730 spread-out segids
+
+
+def reference_home(ring: HashRing, segid: int, members) -> str:
+    """From-scratch rebuild: the seed implementation's full sort."""
+    points = sorted(
+        (_point(f"{host}#{i}"), host)
+        for host in members for i in range(ring.vnodes)
+    )
+    import hashlib
+
+    key = int.from_bytes(
+        hashlib.sha1(segid.to_bytes(16, "big")).digest()[:8], "big")
+    i = bisect.bisect_right([p for p, _ in points], key)
+    if i == len(points):
+        i = 0
+    return points[i][1]
 
 
 def snapshot(ring, members):
@@ -62,3 +84,61 @@ def test_join_takes_fair_share(n):
     assert 0.3 * fair <= moved <= 3.0 * fair, (moved, fair)
     # And every moved key moved *to* the newbie.
     assert all(after[k] == "newbie" for k in KEYS if before[k] != after[k])
+
+
+# ------------------------------------------------- incremental maintenance
+def test_incremental_splices_match_rebuilt_from_scratch():
+    """Deterministic-RNG property loop: after any random join/leave
+    sequence, the incrementally spliced ring maps every key exactly as a
+    ring rebuilt from scratch for the current member set would."""
+    rng = random.Random(1234)
+    ring = HashRing(vnodes=16)
+    pool = [f"n{i:03d}" for i in range(24)]
+    members = set(pool[:6])
+    probe = rng.sample(KEYS, 40)
+    for step in range(120):
+        host = rng.choice(pool)
+        if host in members:
+            if len(members) > 1:
+                members.discard(host)
+        else:
+            members.add(host)
+        view = sorted(members)
+        for k in probe:
+            assert ring.home_host(k, view) == reference_home(ring, k, view), (
+                step, k, sorted(members))
+
+
+def test_churn_of_1000_events_never_triggers_a_full_rebuild():
+    """Regression for the old per-frozenset cache (whose >256-entry
+    wholesale ``clear()`` dropped the hot ring): a 1000-event join/leave
+    storm must splice, never re-sort the whole ring, and must hash each
+    host's vnode points at most once ever."""
+    rng = random.Random(7)
+    ring = HashRing(vnodes=32)
+    pool = [f"p{i:03d}" for i in range(50)]
+    members = set(pool[:25])
+    ring.home_host(KEYS[0], sorted(members))  # warm: the one bulk build
+    for _ in range(1000):
+        host = rng.choice(pool)
+        if host in members and len(members) > 2:
+            members.discard(host)
+        else:
+            members.add(host)
+        ring.home_host(rng.choice(KEYS), sorted(members))
+    assert ring.stats["bulk_builds"] == 1  # initial construction only
+    # Rejoining hosts re-splice cached points: hashing is bounded by
+    # hosts-ever-seen x vnodes, not churn x vnodes.
+    assert ring.stats["point_hashes"] <= len(pool) * ring.vnodes
+    assert ring.stats["splices"] >= 1000
+
+
+def test_hosts_for_resolves_the_ring_once_per_batch():
+    ring = HashRing(vnodes=16)
+    members = sorted(f"h{i}" for i in range(20))
+    ring.home_host(KEYS[0], members)
+    before = dict(ring.stats)
+    batch = ring.hosts_for(KEYS[:200], members)
+    assert ring.stats["reconciles"] == before["reconciles"]  # same view
+    assert ring.stats["point_hashes"] == before["point_hashes"]
+    assert batch == {k: ring.home_host(k, members) for k in KEYS[:200]}

@@ -1,0 +1,269 @@
+"""Scale-out state refactor: index-vs-scan equivalence and expiry wheels.
+
+The refactor replaced full scans (SegmentStore version map, membership
+death checks, location-table purges) with maintained secondary indices.
+Every test here pits the indexed path against a from-scratch recompute
+or against the pre-refactor semantics (ordering included), over
+randomized or adversarial schedules.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Node, small_cluster
+from repro.core.membership import DEATH_FACTOR, MembershipManager
+from repro.core.location import LocationTable
+from repro.core.segment import SYNTHETIC, SegmentStore, StoredSegment
+from repro.network import Fabric
+from repro.sim import Simulator
+from repro.storage import DISK_SPECS, Disk, LocalFS
+
+
+def make_store():
+    sim = Simulator()
+    fs = LocalFS(sim, Disk(sim, DISK_SPECS["ultrastar-dk32ej"]),
+                 capacity=64 << 20)
+    return sim, SegmentStore(sim, fs)
+
+
+def drive(sim, gen):
+    return sim.run_process(sim.process(gen))
+
+
+# ===================================================== SegmentStore index
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "write", "commit", "shadow", "truncate",
+                         "drop", "delete", "consolidate", "plant", "lose"]),
+        st.integers(min_value=0, max_value=3),      # segid selector
+        st.integers(min_value=0, max_value=4096),   # offset / size knob
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=op_strategy)
+def test_segment_indices_match_full_scan_after_any_schedule(ops):
+    """After every mutation, the maintained indices (sorted versions,
+    latest-committed, commit order, byte counter) must equal a recompute
+    from the raw version map."""
+    sim, store = make_store()
+
+    def scenario():
+        planted = 10_000
+        for op, sel, knob in ops:
+            segid = 0xBEEF00 + sel
+            versions = store.versions_of(segid)
+            uncommitted = [v for v in versions
+                           if not store.get(segid, v).committed]
+            committed = [v for v in versions if v not in uncommitted]
+            try:
+                if op == "create" and not versions:
+                    yield from store.create(segid, 1)
+                elif op == "write" and uncommitted:
+                    yield from store.write(segid, uncommitted[-1],
+                                           knob, 512, data=b"x" * 512)
+                elif op == "commit" and uncommitted:
+                    yield from store.commit(segid, uncommitted[-1])
+                elif op == "shadow" and committed:
+                    yield from store.create_shadow(segid, committed[-1])
+                elif op == "truncate" and uncommitted:
+                    yield from store.truncate(segid, uncommitted[-1], knob)
+                elif op == "drop" and uncommitted:
+                    yield from store.drop(segid, uncommitted[-1])
+                elif op == "delete" and versions:
+                    yield from store.delete_segment(segid)
+                elif op == "consolidate" and len(committed) > 1:
+                    yield from store.consolidate(segid, keep=1)
+                elif op == "plant":
+                    planted += 1
+                    seg = StoredSegment(segid=planted, version=1, size=knob,
+                                        committed=True, replication_degree=1,
+                                        alpha=0.5, placement="load",
+                                        last_access=sim.now)
+                    if knob:
+                        seg.extents.set_range(0, knob, SYNTHETIC)
+                    store.plant(seg)
+                elif op == "lose" and versions:
+                    store.lose_segment(segid)
+            except Exception:
+                pass  # illegal transitions may raise; indices must survive
+            store.check_index_invariants()
+
+    drive(sim, scenario())
+
+
+def test_wipe_resets_every_index():
+    sim, store = make_store()
+
+    def scenario():
+        for segid in (1, 2, 3):
+            yield from store.create(segid, 1)
+            yield from store.write(segid, 1, 0, 1024, data=b"y" * 1024)
+            yield from store.commit(segid, 1)
+        assert store.bytes_stored() > 0 and len(store) == 3
+        store.wipe()
+        store.fs.files.clear()  # callers reset the backing FS separately
+        store.fs.used = 0
+        assert len(store) == 0
+        assert store.bytes_stored() == 0
+        assert store.committed_segments() == []
+        assert store.versions_of(1) == []
+        store.check_index_invariants()
+        # The store keeps working after the wipe (provider restart path).
+        yield from store.create(1, 1)
+        yield from store.commit(1, 1)
+        assert [s.segid for s in store.committed_segments()] == [1]
+        store.check_index_invariants()
+
+    drive(sim, scenario())
+
+
+def test_byte_counter_tracks_truncate_and_drop():
+    sim, store = make_store()
+
+    def scenario():
+        yield from store.create(7, 1)
+        yield from store.write(7, 1, 0, 8192, data=b"a" * 8192)
+        assert store.bytes_stored() == 8192
+        yield from store.truncate(7, 1, 4096)
+        assert store.bytes_stored() == 4096
+        yield from store.commit(7, 1)
+        seg = yield from store.create_shadow(7, 1)
+        yield from store.write(7, seg.version, 0, 1024, data=b"b" * 1024)
+        yield from store.drop(7, seg.version)
+        assert store.bytes_stored() == 4096
+        store.check_index_invariants()
+
+    drive(sim, scenario())
+
+
+# ================================================= membership expiry wheel
+def build_membership(n_providers=4, interval=1.0):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    spec = small_cluster(n_providers, n_compute=1)
+    nodes = {s.name: Node(sim, fabric, s) for s in spec.nodes}
+    providers = {
+        s.name: MembershipManager(nodes[s.name], interval, announce=True)
+        for s in spec.storage_nodes
+    }
+    listener = MembershipManager(nodes[spec.compute_nodes[0].name],
+                                 interval, announce=False)
+    return sim, nodes, providers, listener
+
+
+def test_simultaneous_deaths_fire_in_membership_order():
+    """Two providers crashing in the same instant expire in the same
+    death-check tick; the leave callbacks must fire in the members-dict
+    insertion order the pre-wheel full scan produced."""
+    sim, nodes, providers, listener = build_membership(n_providers=5)
+    sim.run(until=5)
+    order_seen = list(listener.members)
+    gone = []
+    listener.on_leave.append(gone.append)
+    crashed = [order_seen[3], order_seen[1]]  # reverse of scan order
+    for h in crashed:
+        nodes[h].crash()
+    sim.run(until=sim.now + DEATH_FACTOR * 1.0 + 2.5)
+    assert gone == [order_seen[1], order_seen[3]]
+    assert sorted(set(order_seen) - set(crashed)) == listener.live_providers()
+
+
+def test_wheel_survives_restart_clear():
+    """clear() (the provider-restart path) resets the wheel's minimum
+    tick to 'now' so stale buckets never resurrect, and re-observation
+    rebuilds normal death tracking."""
+    sim, nodes, providers, listener = build_membership(n_providers=3)
+    sim.run(until=4)
+    assert len(listener.live_providers()) == 3
+    gone = []
+    listener.on_leave.append(gone.append)
+    listener.clear()
+    assert listener.live_providers() == []
+    assert gone == []  # clear() is silent: no synthetic deaths
+    sim.run(until=sim.now + 3)
+    assert len(listener.live_providers()) == 3  # heartbeats re-learned
+    victim = listener.live_providers()[0]
+    nodes[victim].crash()
+    sim.run(until=sim.now + DEATH_FACTOR * 1.0 + 2.5)
+    assert gone == [victim]
+
+
+def test_snapshot_and_live_view_caches_invalidate_on_change():
+    sim, nodes, providers, listener = build_membership(n_providers=3)
+    sim.run(until=4)
+    view1 = listener.live_providers()
+    assert listener.live_providers() is view1  # cached object reused
+    snap1 = listener.snapshot()
+    victim = view1[0]
+    nodes[victim].crash()
+    sim.run(until=sim.now + DEATH_FACTOR * 1.0 + 2.5)
+    view2 = listener.live_providers()
+    assert view2 is not view1 and victim not in view2
+    assert victim in snap1 and victim not in listener.snapshot()
+
+
+# ================================================ location refresh wheel
+@settings(max_examples=40, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=12),   # segid
+                  st.integers(min_value=0, max_value=3),    # owner
+                  st.floats(min_value=0.0, max_value=200.0)),
+        min_size=1, max_size=60),
+    max_age=st.floats(min_value=1.0, max_value=60.0),
+)
+def test_wheel_purge_equals_full_scan_purge(updates, max_age):
+    """The wheel-driven purge removes exactly the records a full scan of
+    every entry would (float boundaries included)."""
+    table = LocationTable()
+    mirror = {}   # (segid, owner) -> last_refresh
+    now = 0.0
+    for segid, owner, dt in updates:
+        now += dt
+        table.update(segid, f"h{owner}", 1, 1, 64, now)
+        mirror[(segid, f"h{owner}")] = now
+    cutoff = now - max_age
+    expect_gone = {k for k, t in mirror.items() if t < cutoff}
+    purged = table.purge(now, max_age)
+    assert purged == len(expect_gone)
+    for (segid, owner), t in mirror.items():
+        rec = table.record(segid, owner)
+        if (segid, owner) in expect_gone:
+            assert rec is None
+        else:
+            assert rec is not None and rec.last_refresh == t
+
+
+def test_drop_owner_returns_segids_in_insertion_order():
+    table = LocationTable()
+    rng = random.Random(3)
+    segids = list(range(40))
+    rng.shuffle(segids)
+    for i, segid in enumerate(segids):
+        table.update(segid, "dying", 1, 1, 64, float(i))
+        if i % 3 == 0:
+            table.update(segid, "other", 1, 1, 64, float(i))
+    assert table.drop_owner("dying") == segids
+    assert table.drop_owner("dying") == []
+    survivors = {s for i, s in enumerate(segids) if i % 3 == 0}
+    assert set(table.segids()) == survivors
+
+
+# ======================================================= scale experiment
+def test_scale_point_smoke():
+    """A miniature scale point end to end: cluster forms, preload lands,
+    Zipf/diurnal sessions all succeed, metrics row is sane."""
+    from repro.experiments import scale
+
+    row = scale.run_point(n_providers=20, n_files=128, n_sessions=40,
+                          duration=3.0, seed=1)
+    assert row["providers"] == 20
+    assert row["sessions_failed"] == 0
+    assert row["sessions_done"] == 40
+    assert row["sim_s"] > 0 and row["events"] > 0
+    assert scale.checks({20: row}) == []

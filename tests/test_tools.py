@@ -61,10 +61,7 @@ def test_replica_report_flags_under_replication():
     segid, holders = next(iter(insp.replica_map().items()))
     victim = next(iter(holders))
     # Drop one replica behind the system's back.
-    dep.providers[victim].store._segs = {
-        k: v for k, v in dep.providers[victim].store._segs.items()
-        if k[0] != segid
-    }
+    dep.providers[victim].store.lose_segment(segid)
     report = insp.replica_report()
     assert any(s == segid for s, _h, _w in report.under_replicated)
 
