@@ -53,10 +53,18 @@ def run_macro_suite(smoke: bool = False, repeat: int = 1,
     from repro.bench.diskengine_bench import flush_storm, smallfile_churn
     from repro.bench.harness import run_suite
 
+    from repro.experiments.partitioned import run_fig10_partitioned
+
     if smoke:
         benches = {
             "fig10_reduced": lambda: reduced_fig10(
                 n_clients=2, duration=1.5, n_storage=4),
+            # Partitioned twin: same workload cut across 2 event loops
+            # (in-process backend; a large cross-latency keeps the
+            # window count CI-friendly at smoke scale).
+            "fig10_reduced_parallel": lambda: run_fig10_partitioned(
+                n_clients=2, duration=1.5, n_storage=4, workers=2,
+                backend="inproc", cross_latency=5e-3),
             "locate_storm": lambda: locate_storm(
                 n_clients=2, rounds=2, reads_per_round=8, n_storage=4),
             "locate_storm_nocache": lambda: locate_storm(
@@ -77,6 +85,13 @@ def run_macro_suite(smoke: bool = False, repeat: int = 1,
     else:
         benches = {
             "fig10_reduced": lambda: reduced_fig10(),
+            # The conservative-parallel kernel on the same reduced run:
+            # 2 forked partition workers under the default inter-switch
+            # cross-latency.  Note the model differs on the cut edges
+            # (store-and-forward + uplink hop), so compare wall/session
+            # trends, not per-session results, against fig10_reduced.
+            "fig10_reduced_parallel": lambda: run_fig10_partitioned(
+                workers=2, backend="mp"),
             # The *_nocache twins replay the seed data path (caches and
             # vectoring off) so every entry records before/after RPC
             # counts side by side.

@@ -37,19 +37,29 @@ from repro.experiments.scale import QUICK_POINTS, SCALE_POINTS
 
 # ------------------------------------------------------------ scale points
 def _run_point_subprocess(n_providers: int, n_files: int, n_sessions: int,
-                          duration: float, seed: int = 0) -> Dict:
-    """One scale point in a child process; returns its JSON metrics row."""
+                          duration: float, seed: int = 0, workers: int = 0,
+                          backend: str = "mp",
+                          smoke_preload: bool = False) -> Dict:
+    """One scale point in a child process; returns its JSON metrics row.
+
+    ``workers > 0`` runs the point on the conservative-parallel kernel
+    (the child forks one event loop per partition).
+    """
     cmd = [sys.executable, "-m", "repro.experiments.scale",
            "--point", str(n_providers), "--files", str(n_files),
            "--sessions", str(n_sessions), "--duration", str(duration),
            "--seed", str(seed), "--json"]
+    if workers:
+        cmd += ["--workers", str(workers), "--backend", backend]
+    if smoke_preload:
+        cmd += ["--smoke-preload"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         raise RuntimeError(
             f"scale point {n_providers} failed:\n{proc.stderr[-2000:]}")
     row = json.loads(proc.stdout.strip().splitlines()[-1])
     wall = max(row["wall_s"], 1e-9)
-    return {
+    out = {
         # Harness-common keys: "ops" are completed client sessions and
         # wall is the measured-traffic window (setup reported separately).
         "wall_s": row["wall_s"],
@@ -68,6 +78,16 @@ def _run_point_subprocess(n_providers: int, n_files: int, n_sessions: int,
         "total_wall_s": row["total_wall_s"],
         "peak_rss_mb": row["peak_rss_mb"],
     }
+    if workers:
+        # Parallel-kernel diagnostics recorded alongside (windows/barrier
+        # decompose where the wall went; busy walls bound the speedup a
+        # multi-core box could realize).
+        for key in ("workers", "backend", "windows", "records_shipped",
+                    "barrier_wall_s", "busy_wall_s", "worker_events",
+                    "lookahead_us", "digest"):
+            if key in row:
+                out[key] = row[key]
+    return out
 
 
 # ------------------------------------------------------------- ring churn
@@ -155,7 +175,25 @@ def run_scale_suite(smoke: bool = False, repeat: int = 1) -> Dict[str, Dict]:
             lambda n=n_providers, f=n_files, s=n_sessions, d=duration:
             _run_point_subprocess(n, f, s, d))
     if smoke:
+        # Smoke trims preload so the budget measures the traffic window,
+        # and adds one 2-worker partitioned point for the parallel path.
+        n, f, s, d = points[0]
+        benches[f"scale_{n}_w2"] = (
+            lambda n=n, f=f, s=s, d=d:
+            _run_point_subprocess(n, f, s, d, workers=2,
+                                  smoke_preload=True))
         benches["ring_churn"] = lambda: ring_churn(n_hosts=60, n_events=200)
     else:
+        # Partitioned counterparts of the smallest and largest points:
+        # 2 workers at 100 providers, 4 at 1000 (one per planned switch
+        # group), both forked.
+        n, f, s, d = points[0]
+        benches[f"scale_{n}_w2"] = (
+            lambda n=n, f=f, s=s, d=d:
+            _run_point_subprocess(n, f, s, d, workers=2))
+        n, f, s, d = points[-1]
+        benches[f"scale_{n}_w4"] = (
+            lambda n=n, f=f, s=s, d=d:
+            _run_point_subprocess(n, f, s, d, workers=4))
         benches["ring_churn"] = ring_churn
     return run_suite(benches, repeat=repeat)

@@ -38,10 +38,19 @@ class LoadSample:
 class Node(Host):
     """A cluster node: CPU pipe + optional local FS + network endpoint."""
 
-    def __init__(self, sim: Simulator, fabric: Fabric, spec: NodeSpec):
+    def __init__(self, sim: Simulator, fabric: Fabric, spec: NodeSpec,
+                 dormant: bool = False):
         super().__init__(sim, spec.name, rate=spec.nic_rate)
         self.spec = spec
         self.fabric = fabric
+        # Dormant shells exist so every partition worker builds the full
+        # cluster identically (same construction order, same named RNG
+        # streams) while only its own partition's daemons actually run:
+        # spawn() drops the generator and the load monitor never starts.
+        # The node stays attached and alive — messages addressed to it are
+        # diverted to the owning partition by the fabric's transit hook,
+        # never delivered here.
+        self.dormant = dormant
         fabric.attach(self)
         self.endpoint = Endpoint(sim, fabric, self)
         # Daemons talk RPC through the runtime, never the raw endpoint;
@@ -65,7 +74,8 @@ class Node(Host):
         self._last_cpu_bytes = 0
         self._last_disk_busy = 0.0
         self._monitor: Optional[Process] = None
-        self.start_monitor()
+        if not dormant:
+            self.start_monitor()
 
     # -- CPU ------------------------------------------------------------
     def cpu(self, work_s: float) -> Event:
@@ -73,8 +83,11 @@ class Node(Host):
         return self.cpu_pipe.transfer(work_s)
 
     # -- process management ----------------------------------------------
-    def spawn(self, gen, name: str = "") -> Process:
-        """Run a process that dies with the node."""
+    def spawn(self, gen, name: str = "") -> Optional[Process]:
+        """Run a process that dies with the node (no-op when dormant)."""
+        if self.dormant:
+            gen.close()
+            return None
         proc = self.sim.process(gen, name=f"{self.hostid}:{name}")
         self._procs.append(proc)
         if len(self._procs) >= self._prune_at:

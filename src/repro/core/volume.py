@@ -10,7 +10,7 @@ add a fresh one at runtime).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cluster import ClusterSpec, Node, NodeSpec
 from repro.core.client import SorrentoClient
@@ -21,6 +21,9 @@ from repro.core.provider import StorageProvider
 from repro.network import Fabric
 from repro.runtime import MetricsRegistry, Tracer
 from repro.sim import RngStreams, Simulator
+
+if TYPE_CHECKING:
+    from repro.sim.parallel import PartitionMap
 
 
 @dataclass
@@ -42,6 +45,16 @@ class SorrentoConfig:
     #                                      owning a shard of the top-level
     #                                      directories (§3.1's other
     #                                      scaling approach)
+    partition: Optional["PartitionMap"] = None  # conservative-parallel
+    #                                      model cut (repro.sim.parallel):
+    #                                      installs the store-and-forward
+    #                                      transit on the fabric
+    local_partition: Optional[int] = None  # build daemons only for this
+    #                                      partition (worker mode); other
+    #                                      hosts become dormant shells so
+    #                                      construction — and every named
+    #                                      RNG stream — stays identical
+    #                                      across workers
 
 
 class SorrentoDeployment:
@@ -63,13 +76,29 @@ class SorrentoDeployment:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.sim) if self.config.trace else None
 
+        pmap = self.config.partition
+        local_pid = self.config.local_partition
+        self.transit = None
+        if pmap is not None:
+            from repro.sim.parallel import Transit
+
+            self.transit = Transit(self.sim, self.fabric, pmap,
+                                   local_pid=local_pid,
+                                   registry=self.metrics)
+            self.fabric.transit = self.transit
+
+        def _dormant(name: str) -> bool:
+            return (pmap is not None and local_pid is not None
+                    and pmap.assignment.get(name, local_pid) != local_pid)
+
         self.memberships: Dict[str, MembershipManager] = {}
         storage_specs = spec.storage_nodes
         if self.config.n_providers is not None:
             storage_specs = storage_specs[: self.config.n_providers]
         used_storage = {s.name for s in storage_specs}
         for nspec in spec.nodes:
-            node = Node(self.sim, self.fabric, nspec)
+            node = Node(self.sim, self.fabric, nspec,
+                        dormant=_dormant(nspec.name))
             node.runtime.configure(registry=self.metrics, tracer=self.tracer)
             self.nodes[nspec.name] = node
             if nspec.name not in used_storage:
@@ -124,9 +153,18 @@ class SorrentoDeployment:
             self.ns.attach_standby(self.config.ns_standby_on)
             self.ns_hosts.append(self.config.ns_standby_on)
 
+        # All exporting hosts, dormant or not: segment homes and preload
+        # placement are functions of the *full* member list, which must be
+        # identical in every partition worker.
+        self.provider_names: List[str] = [s.name for s in storage_specs]
         for nspec in storage_specs:
             name = nspec.name
             node = self.nodes[name]
+            if node.dormant:
+                # Another partition's provider: the shell node is enough
+                # (its daemons, store, and location table live — and use
+                # memory — only in the worker that owns the partition).
+                continue
             self.providers[name] = StorageProvider(
                 node, self.config.volume, self.params,
                 rng=self.rngs.py(f"provider:{name}"),
@@ -148,10 +186,14 @@ class SorrentoDeployment:
 
     def clients_on_compute(self, n: int) -> List[SorrentoClient]:
         """``n`` clients spread round-robin over non-exporting nodes."""
+        # Classify by the full exporting-host list, not the constructed
+        # providers: in a partition worker some providers are dormant
+        # shells, but client placement must match the serial build.
+        storage = set(self.provider_names)
         compute = [s.name for s in self.spec.nodes
-                   if s.name not in self.providers]
+                   if s.name not in storage]
         if not compute:
-            compute = list(self.providers)
+            compute = list(self.provider_names)
         return [self.client_on(compute[i % len(compute)]) for i in range(n)]
 
     # ------------------------------------------------------ orchestration
@@ -182,6 +224,7 @@ class SorrentoDeployment:
             rng=self.rngs.py(f"provider:{nspec.name}"),
         )
         self.providers[nspec.name] = provider
+        self.provider_names.append(nspec.name)
         return provider
 
     # ------------------------------------------------------ preloading
@@ -203,7 +246,7 @@ class SorrentoDeployment:
         from repro.storage.filesystem import _File
 
         rng = self.rngs.py(f"preload:{path}")
-        hosts = on or sorted(self.providers)
+        hosts = on or sorted(self.provider_names)
         fileid = self.rngs.py("preload-ids").getrandbits(128)
         layout = make_layout("linear", lambda: rng.getrandbits(128))
         layout.grow_to(size, lambda: rng.getrandbits(128))
@@ -214,32 +257,41 @@ class SorrentoDeployment:
         # warming a thousand per-provider rings — and passing the *same*
         # list object each time hits the ring's identity fast path.
         members = getattr(self, "_preload_view", None)
-        if members is None or len(members) != len(self.providers):
-            members = self._preload_view = sorted(self.providers)
+        if members is None or len(members) != len(self.provider_names):
+            members = self._preload_view = sorted(self.provider_names)
             self._preload_ring = HashRing(self.params.ring_vnodes)
         ring = self._preload_ring
 
         def plant(segid, seg_size, meta, idx):
+            # Placement math (owners, homes) runs over the full host list
+            # in every partition worker; actual state is planted only
+            # where the provider was built.  Every RNG draw happened
+            # before this point, so dormancy never shifts a stream.
             owners = [hosts[(start + idx + r) % len(hosts)]
                       for r in range(min(degree, len(hosts)))]
             for owner in dict.fromkeys(owners):
-                provider = self.providers[owner]
-                seg = StoredSegment(
-                    segid=segid, version=1, size=seg_size, committed=True,
-                    replication_degree=degree, alpha=alpha,
-                    placement=placement, meta=meta,
-                    last_access=self.sim.now,
-                )
-                if seg_size > 0:
-                    seg.extents.set_range(0, seg_size, SYNTHETIC)
-                provider.store.plant(seg)
-                # Direct FS accounting (no simulated I/O):
-                fs = provider.node.fs
-                fs.files[seg.fs_name] = _File(size=seg_size, allocated=seg_size)
-                fs.used += seg_size
+                provider = self.providers.get(owner)
+                if provider is not None:
+                    seg = StoredSegment(
+                        segid=segid, version=1, size=seg_size,
+                        committed=True,
+                        replication_degree=degree, alpha=alpha,
+                        placement=placement, meta=meta,
+                        last_access=self.sim.now,
+                    )
+                    if seg_size > 0:
+                        seg.extents.set_range(0, seg_size, SYNTHETIC)
+                    provider.store.plant(seg)
+                    # Direct FS accounting (no simulated I/O):
+                    fs = provider.node.fs
+                    fs.files[seg.fs_name] = _File(size=seg_size,
+                                                  allocated=seg_size)
+                    fs.used += seg_size
                 home = ring.home_host(segid, members)
-                self.providers[home].loc.update(
-                    segid, owner, 1, degree, seg_size, self.sim.now)
+                home_p = self.providers.get(home)
+                if home_p is not None:
+                    home_p.loc.update(
+                        segid, owner, 1, degree, seg_size, self.sim.now)
 
         for i, ref in enumerate(layout.segments):
             plant(ref.segid, ref.size, None, i)
@@ -249,7 +301,8 @@ class SorrentoDeployment:
                           ctime=self.sim.now, mtime=self.sim.now,
                           degree=degree, alpha=alpha,
                           placement=placement).to_dict()
-        self.ns.db.put(_file_key(path), entry)
+        if not self.ns.node.dormant:
+            self.ns.db.put(_file_key(path), entry)
         return entry
 
     # ------------------------------------------------------------- metrics

@@ -6,9 +6,10 @@ Usage::
         [--parallel [N]]
 
 ``--quick`` uses smaller scales/durations (minutes instead of tens of
-minutes).  ``--parallel`` runs the sections in N worker processes (default
-one per section) — each section is an independent simulation with its own
-Simulator, so the report is identical to a sequential run, just faster.
+minutes).  ``--parallel`` runs the sections in N worker processes — with
+no N, one per available CPU core (capped at the section count) — each
+section is an independent simulation with its own Simulator, so the
+report is identical to a sequential run, just faster.
 Each section prints the same rows/series the paper reports, followed by
 any shape violations (none expected).
 """
@@ -64,8 +65,14 @@ def _run_section(spec) -> str:
 def run_all(quick: bool = False, parallel: int = 0) -> str:
     specs = sections(quick)
     if parallel:
+        import os
         from concurrent.futures import ProcessPoolExecutor
 
+        # parallel < 0 means "pick for me": one worker per CPU core.
+        # More workers than cores just thrash a small machine, and more
+        # than one per section never helps.
+        if parallel < 0:
+            parallel = os.cpu_count() or 1
         workers = min(parallel, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # map() preserves section order regardless of completion order.
@@ -81,10 +88,11 @@ def main() -> None:
                         help="smaller scales (faster, same shapes)")
     parser.add_argument("--out", default=None,
                         help="also write the report to this file")
-    parser.add_argument("--parallel", nargs="?", type=int, const=9, default=0,
+    parser.add_argument("--parallel", nargs="?", type=int, const=-1, default=0,
                         metavar="N",
-                        help="run sections in N worker processes "
-                             "(default: one per section)")
+                        help="run sections in N worker processes (bare "
+                             "--parallel: one per CPU core, capped at the "
+                             "section count)")
     args = parser.parse_args()
     report = run_all(quick=args.quick, parallel=args.parallel)
     if args.out:

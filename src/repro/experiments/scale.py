@@ -21,7 +21,13 @@ Runs standalone::
 
     python -m repro.experiments.scale [--quick] [--point N]
         [--files F] [--sessions S] [--duration D] [--json]
+        [--workers N] [--backend mp|inproc|serial] [--adapt]
+        [--smoke-preload] [--cross-latency S]
         [--budget-wall S] [--budget-rss-mb M]
+
+``--workers N`` runs the point on the conservative-parallel kernel:
+the cluster is partitioned across N event loops (see
+``repro.sim.parallel`` and ``repro.experiments.partitioned``).
 
 ``--json`` prints one machine-readable result dict per point (used by
 ``repro.bench.scale_bench``, which forks one process per point so peak
@@ -33,15 +39,27 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import small_cluster
 from repro.core import SorrentoConfig, SorrentoDeployment
-from repro.core.params import SorrentoParams
 from repro.experiments.common import format_table, run_until_done
+from repro.experiments.scale_model import (
+    ARRIVAL_BINS,
+    SMOKE_FILES_PER_TENANT,
+    FILE_SIZE,
+    N_CLIENT_STUBS,
+    N_TENANTS,
+    READ_SIZE,
+    ZIPF_S,
+    _diurnal_cum_weights,
+    _tenant_file,
+    _zipf_cum_weights,
+    files_per_tenant,
+    scale_params,
+)
 
 KB = 1 << 10
 GB = 1 << 30
@@ -55,15 +73,6 @@ SCALE_POINTS: Tuple[Tuple[int, int, int, float], ...] = (
 QUICK_POINTS: Tuple[Tuple[int, int, int, float], ...] = (
     (100, 20_000, 500, 6.0),
 )
-
-N_TENANTS = 64
-ZIPF_S = 1.1           # tenant popularity exponent
-DIURNAL_WAVES = 2      # load peaks across the run
-DIURNAL_AMPLITUDE = 0.8
-FILE_SIZE = 16 * KB
-READ_SIZE = 8 * KB
-N_CLIENT_STUBS = 16
-
 
 def peak_rss_mb() -> float:
     """Peak resident set of this process in MB (0.0 if unsupported).
@@ -80,60 +89,6 @@ def peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def scale_params(n_providers: int) -> SorrentoParams:
-    """Tunables for big-cluster runs.
-
-    The heartbeat channel is O(providers^2) deliveries per interval —
-    the protocol's real cost, which the suite deliberately simulates —
-    so the announcement period grows with the cluster, as any real
-    deployment's would.  Background optimizers (migration) idle: the
-    suite measures the steady serving path.
-    """
-    if n_providers >= 1000:
-        heartbeat, vnodes = 10.0, 8
-    elif n_providers >= 300:
-        heartbeat, vnodes = 5.0, 16
-    elif n_providers >= 100:
-        heartbeat, vnodes = 5.0, 64
-    else:
-        heartbeat, vnodes = 1.0, 64
-    return SorrentoParams(
-        heartbeat_interval=heartbeat,
-        refresh_cycle=120.0,
-        migration_interval=600.0,
-        ring_vnodes=vnodes,
-        # Cluster formation fires P^2 join-refresh tasks (every provider
-        # refreshes toward every joined peer).  The suite drains that
-        # storm against *empty* stores during warm-up — so the window
-        # can be short — and only then preloads the file population.
-        join_refresh_delay_max=2.0,
-    )
-
-
-def _tenant_file(tenant: int, i: int) -> str:
-    return f"/t{tenant:02d}/f{i:06d}"
-
-
-def _zipf_cum_weights(n: int, s: float) -> List[float]:
-    total, cum = 0.0, []
-    for rank in range(n):
-        total += 1.0 / (rank + 1) ** s
-        cum.append(total)
-    return cum
-
-
-def _diurnal_cum_weights(bins: int) -> List[float]:
-    """Cumulative weights of a sinusoidal arrival-rate wave."""
-    total, cum = 0.0, []
-    for b in range(bins):
-        t = (b + 0.5) / bins
-        rate = 1.0 + DIURNAL_AMPLITUDE * math.sin(
-            2.0 * math.pi * DIURNAL_WAVES * t - math.pi / 2.0)
-        total += max(rate, 0.05)
-        cum.append(total)
-    return cum
-
-
 def _session(client, path: str, delay: float, counters: Dict[str, int]):
     """One user session: arrive, open, read, close."""
     yield client.sim.timeout(delay)
@@ -147,7 +102,8 @@ def _session(client, path: str, delay: float, counters: Dict[str, int]):
 
 
 def run_point(n_providers: int, n_files: int, n_sessions: int,
-              duration: float, seed: int = 0) -> Dict[str, float]:
+              duration: float, seed: int = 0,
+              smoke_preload: bool = False) -> Dict[str, float]:
     """Build, preload, and drive one cluster size; returns the metrics row."""
     params = scale_params(n_providers)
     t_build = time.perf_counter()
@@ -163,9 +119,9 @@ def run_point(n_providers: int, n_files: int, n_sessions: int,
     # Then preload the file population (planted directly, no simulated
     # I/O, so sim.now does not advance and no protocol traffic fires).
     t_preload = time.perf_counter()
-    files_per_tenant = max(1, n_files // N_TENANTS)
+    fpt = files_per_tenant(n_files, smoke_preload)
     for tenant in range(N_TENANTS):
-        for i in range(files_per_tenant):
+        for i in range(fpt):
             dep.preload_file(_tenant_file(tenant, i), FILE_SIZE, degree=1)
     preload_wall = time.perf_counter() - t_preload
 
@@ -174,7 +130,7 @@ def run_point(n_providers: int, n_files: int, n_sessions: int,
     rng = dep.rngs.py("scale-sessions")
     clients = dep.clients_on_compute(N_CLIENT_STUBS)
     tenant_cum = _zipf_cum_weights(N_TENANTS, ZIPF_S)
-    bins = 96
+    bins = ARRIVAL_BINS
     diurnal_cum = _diurnal_cum_weights(bins)
     tenants = rng.choices(range(N_TENANTS), cum_weights=tenant_cum,
                           k=n_sessions)
@@ -184,7 +140,7 @@ def run_point(n_providers: int, n_files: int, n_sessions: int,
     procs = []
     for i in range(n_sessions):
         path = _tenant_file(tenants[i],
-                            rng.randrange(files_per_tenant))
+                            rng.randrange(fpt))
         arrival = (arrival_bins[i] + rng.random()) * (duration / bins)
         procs.append(dep.sim.process(_session(
             clients[i % N_CLIENT_STUBS], path, arrival, counters)))
@@ -197,7 +153,7 @@ def run_point(n_providers: int, n_files: int, n_sessions: int,
 
     return {
         "providers": n_providers,
-        "files": N_TENANTS * files_per_tenant,
+        "files": N_TENANTS * fpt,
         "sessions_done": counters["done"],
         "sessions_failed": counters["failed"],
         "sim_s": round(sim_elapsed, 3),
@@ -212,14 +168,34 @@ def run_point(n_providers: int, n_files: int, n_sessions: int,
 
 
 def run(points: Optional[Sequence[Tuple[int, int, int, float]]] = None,
-        quick: bool = False, seed: int = 0) -> Dict[int, Dict[str, float]]:
-    """Returns {n_providers: metrics row}."""
+        quick: bool = False, seed: int = 0, smoke_preload: bool = False,
+        workers: int = 0, backend: str = "mp", adapt: bool = False,
+        cross_latency: Optional[float] = None) -> Dict[int, Dict[str, float]]:
+    """Returns {n_providers: metrics row}.
+
+    With ``workers > 0`` each point runs on the conservative-parallel
+    kernel (``repro.experiments.partitioned``): the cluster is cut into
+    ``workers`` partitions along the planned switch boundaries and
+    driven by the chosen backend (``mp`` forks one process per
+    partition; ``inproc``/``serial`` are the single-process reference
+    executions of the same partitioned model).
+    """
     if points is None:
         points = QUICK_POINTS if quick else SCALE_POINTS
     results: Dict[int, Dict[str, float]] = {}
     for n_providers, n_files, n_sessions, duration in points:
-        results[n_providers] = run_point(n_providers, n_files, n_sessions,
-                                         duration, seed=seed)
+        if workers > 0:
+            from repro.experiments.partitioned import (
+                run_scale_point_partitioned,
+            )
+            results[n_providers] = run_scale_point_partitioned(
+                n_providers, n_files, n_sessions, duration, seed=seed,
+                workers=workers, backend=backend, adapt=adapt,
+                cross_latency=cross_latency, smoke_preload=smoke_preload)
+        else:
+            results[n_providers] = run_point(
+                n_providers, n_files, n_sessions, duration, seed=seed,
+                smoke_preload=smoke_preload)
     return results
 
 
@@ -263,6 +239,24 @@ def _cli(argv=None) -> int:
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--duration", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="partition the model across N worker event "
+                             "loops (0 = classic single-loop run)")
+    parser.add_argument("--backend", default="mp",
+                        choices=("mp", "inproc", "serial"),
+                        help="parallel backend: forked processes, "
+                             "round-robin in-process loops, or the serial "
+                             "reference execution of the partitioned model")
+    parser.add_argument("--adapt", action="store_true",
+                        help="self-clustering: refine the partition map "
+                             "from a short serial traffic probe first")
+    parser.add_argument("--cross-latency", type=float, default=None,
+                        help="extra one-way seconds on cut edges "
+                             "(default: repro.sim.parallel uplink model)")
+    parser.add_argument("--smoke-preload", action="store_true",
+                        help=f"cap preload at {SMOKE_FILES_PER_TENANT} "
+                             "files/tenant so CI smoke budget goes to the "
+                             "measured region, not setup")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable rows on stdout")
     parser.add_argument("--budget-wall", type=float, default=None,
@@ -281,7 +275,10 @@ def _cli(argv=None) -> int:
         points = [(n, args.files or f, args.sessions or s,
                    args.duration or d) for n, f, s, d in points]
 
-    results = run(points=points, seed=args.seed)
+    results = run(points=points, seed=args.seed,
+                  smoke_preload=args.smoke_preload, workers=args.workers,
+                  backend=args.backend, adapt=args.adapt,
+                  cross_latency=args.cross_latency)
     if args.json:
         for n in sorted(results):
             print(json.dumps(results[n]))

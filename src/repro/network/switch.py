@@ -83,6 +83,13 @@ class Fabric:
         self._blocked: Set[Tuple[str, str]] = set()
         # Directed link degradations; "*" wildcards either end.
         self._link_faults: Dict[Tuple[str, str], LinkFault] = {}
+        # Conservative-parallel transit (repro.sim.parallel.Transit), duck
+        # typed so the fabric never imports the parallel layer.  When
+        # installed, copies whose destination lives in another partition
+        # are handed to it at tx completion instead of being scheduled
+        # for direct delivery; it replays them on the owning side in
+        # (arrive, src_partition, seq) order.
+        self.transit = None
 
     # -- fault plane -----------------------------------------------------
     def partition(self, side_a: Iterable[str], side_b: Iterable[str],
@@ -183,18 +190,26 @@ class Fabric:
         now = sim.now
         blocked = self._blocked
         have_faults = bool(self._link_faults)
+        transit = self.transit
         tx_start, tx_done = src.nic.tx.reserve(msg.wire_size)
         copies = 0
+        xcopies = None
         for hostid in targets:
             # Partition: the copy leaves the sender's NIC and dies in the
             # switch — tx time is charged, the receiver sees nothing.
             if blocked and (msg.src, hostid) in blocked:
                 self.messages_dropped += 1
                 continue
-            dst = self.hosts.get(hostid)
-            if dst is None or not dst.alive or dst.deliver is None:
-                self.messages_dropped += 1
-                continue
+            # Cross-partition copies skip the sender-side liveness check
+            # and rx reservation: the receiving side performs both when it
+            # drains the record at the partition boundary (identically in
+            # serial-with-map and parallel runs).
+            cross = transit is not None and transit.is_cross(msg.src, hostid)
+            if not cross:
+                dst = self.hosts.get(hostid)
+                if dst is None or not dst.alive or dst.deliver is None:
+                    self.messages_dropped += 1
+                    continue
             ncopies, extra = 1, 0.0
             if have_faults:
                 fault = self._fault_for(msg.src, hostid)
@@ -211,6 +226,12 @@ class Fabric:
                         extra += fault.rng.random() * fault.jitter
                     if fault.bandwidth_cap:
                         extra += msg.wire_size / fault.bandwidth_cap
+            if cross:
+                if xcopies is None:
+                    xcopies = []
+                for _ in range(ncopies):
+                    xcopies.append((hostid, extra))
+                continue
             for _ in range(ncopies):
                 _rx_start, rx_done = dst.nic.rx.reserve(
                     msg.wire_size, not_before=tx_start + self.latency + extra)
@@ -221,6 +242,10 @@ class Fabric:
         # Nothing fires before the next sim.step(), so the refcount is
         # safely published after the loop.
         msg._refs = copies
+        if xcopies:
+            # Transit copies the fields out synchronously; it never holds
+            # the envelope, so releasing on copies == 0 below stays safe.
+            transit.submit(msg, xcopies, tx_done)
         if copies == 0:
             release_message(msg)
 

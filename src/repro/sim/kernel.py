@@ -118,6 +118,22 @@ class Simulator:
         if n > self._peak_pending:
             self._peak_pending = n
 
+    def _schedule_at(self, event: Event, t: float, priority: int = 1) -> None:
+        """Schedule ``event`` at the *absolute* instant ``t``.
+
+        ``_schedule(ev, t - now)`` stores ``now + (t - now)``, which under
+        float arithmetic is not always ``t``.  The conservative parallel
+        engine (:mod:`repro.sim.parallel`) needs its transit-drain wakes to
+        fire at bit-identical instants in serial and partitioned runs, so
+        it schedules by absolute time.  ``t`` must be ``>= now``.
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (t, priority, self._seq, event))
+        n = self._npending + 1
+        self._npending = n
+        if n > self._peak_pending:
+            self._peak_pending = n
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing after ``delay`` simulated seconds."""
         return Timeout(self, delay, value)

@@ -1,0 +1,710 @@
+"""Conservative parallel execution for the DES kernel.
+
+The cluster model is *spatially* decomposable: providers talk mostly to
+rack/switch neighbours, and every cross-host interaction rides the
+fabric, which charges at least one propagation latency.  This module
+partitions the simulated cluster across N event loops and synchronizes
+them with a conservative bounded-window (YAWNS-style) barrier protocol:
+
+* **PartitionMap** — hostid -> partition id, plus the extra one-way
+  latency charged on cross-partition links (the inter-switch uplink
+  hop the cut edges now traverse).  The *lookahead* ``L`` is the minimum
+  cross-partition delivery delay: fabric latency + ``cross_latency``.
+* **Transit** — the store-and-forward layer at the partition boundary.
+  The sending fabric hands it ``(dst, extra)`` copies at tx completion;
+  each becomes a record keyed ``(arrive, src_partition, seq)`` with
+  ``arrive = tx_done + latency + extra + cross_latency``.  The receiving
+  side drains a min-heap of records strictly in key order — the
+  deterministic merge order for same-timestamp cross-partition events —
+  reserving the receiver's rx link at drain time.  Drain wakes are
+  priority-2 events, so at any instant every ordinary (priority <= 1)
+  local event runs before any drain, in serial and parallel runs alike.
+* **Window engine** — time advances in windows that always end on a
+  multiple of ``L``: ``T_end = grid_next(min next-event-time)``.  Any
+  message sent at ``t >= T_min`` arrives at ``>= t + L >= T_end``, so a
+  window's records can be exchanged at the barrier after it without any
+  worker ever receiving an event in its past.  Grid alignment makes
+  phase-transition times a pure function of *model* quantities (max
+  process-completion time), which is what lets a serial run of the same
+  partitioned model reproduce the parallel run bit for bit.
+
+Determinism contract: with a fixed partition map and seed, the
+``serial`` (one Simulator hosting every partition), ``inproc`` (K
+Simulators stepped round-robin in one process), and ``mp`` (K forked
+worker processes) backends produce identical event interleavings per
+host, hence identical results.  Installing a map *changes the model*
+(cross-partition messages become store-and-forward with the uplink
+latency added), so unpartitioned goldens are untouched; partitioned
+scenarios pin their own.
+
+An adaptive re-clustering pass (:func:`refine`) migrates chattering
+hosts into the partition they talk to most, using the observed
+cross-edge traffic matrix — the self-clustering heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.network.message import HEADER_BYTES, acquire_message
+from repro.sim.events import SUCCEEDED, Event
+from repro.sim.kernel import Simulator
+
+#: Extra one-way latency charged on cut edges: the store-and-forward hop
+#: through the inter-switch uplink that cross-partition traffic now
+#: models explicitly (4x the intra-switch 80us port-to-port latency).
+DEFAULT_CROSS_LATENCY = 320e-6
+
+#: Metrics scope for cross-partition traffic (see repro.runtime.metrics).
+PARTITION_SCOPE = "partition"
+
+
+# ----------------------------------------------------------- partition map
+@dataclass(frozen=True)
+class PartitionMap:
+    """hostid -> partition id, plus the cross-partition link model.
+
+    Hosts absent from ``assignment`` (e.g. nodes attached at runtime)
+    are treated as local to everyone: their traffic never crosses.
+    """
+
+    assignment: Dict[str, int]
+    n_partitions: int
+    cross_latency: float = DEFAULT_CROSS_LATENCY
+
+    def pid(self, hostid: str) -> Optional[int]:
+        return self.assignment.get(hostid)
+
+    def is_cross(self, a: str, b: str) -> bool:
+        m = self.assignment
+        pa = m.get(a)
+        if pa is None:
+            return False
+        pb = m.get(b)
+        return pb is not None and pa != pb
+
+    def lookahead(self, fabric_latency: float) -> float:
+        """Minimum cross-partition delivery delay — the window grid unit."""
+        return fabric_latency + self.cross_latency
+
+    def members(self, pid: int) -> List[str]:
+        return [h for h, p in self.assignment.items() if p == pid]
+
+    def sizes(self) -> List[int]:
+        sizes = [0] * self.n_partitions
+        for p in self.assignment.values():
+            sizes[p] += 1
+        return sizes
+
+    def cut_edges(self, traffic_out: Mapping) -> int:
+        """Distinct (host, remote partition) pairs with observed traffic."""
+        return sum(1 for (_h, dp), v in traffic_out.items() if v[0])
+
+
+def plan_partitions(storage_hosts: Sequence[str], compute_hosts: Sequence[str],
+                    n_partitions: int,
+                    racks: Optional[Mapping[str, str]] = None,
+                    cross_latency: float = DEFAULT_CROSS_LATENCY) -> PartitionMap:
+    """A deterministic initial cut along switch/rack boundaries.
+
+    Storage hosts are chunked contiguously (rack labels, when present,
+    group hosts first, approximating one switch per rack); compute hosts
+    are spread round-robin so every partition drives a share of the
+    client load.  :func:`refine` improves the cut from observed traffic.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    storage = list(storage_hosts)
+    if racks:
+        # Stable grouping: racks in first-seen order, hosts in spec order.
+        order: Dict[str, List[str]] = {}
+        for h in storage:
+            order.setdefault(racks.get(h, ""), []).append(h)
+        storage = [h for group in order.values() for h in group]
+    assignment: Dict[str, int] = {}
+    base, rem = divmod(len(storage), n_partitions)
+    i = 0
+    for p in range(n_partitions):
+        take = base + (1 if p < rem else 0)
+        for h in storage[i:i + take]:
+            assignment[h] = p
+        i += take
+    for j, h in enumerate(compute_hosts):
+        assignment[h] = j % n_partitions
+    return PartitionMap(assignment, n_partitions, cross_latency)
+
+
+# ----------------------------------------------------------------- transit
+class Transit:
+    """Store-and-forward for cross-partition messages.
+
+    One instance per Simulator.  In serial mode (``local_pid`` is None)
+    it owns every partition's records; in worker mode it queues outbound
+    records per destination partition (flushed at each barrier) and
+    drains the records other workers sent it.
+
+    Records are plain tuples — picklable for the mp backend — ordered by
+    ``(arrive, src_partition, seq)``; ``seq`` counts sends per source
+    partition, so the merge order is identical whether the records came
+    from one heap or K.
+    """
+
+    def __init__(self, sim: Simulator, fabric, pmap: PartitionMap,
+                 local_pid: Optional[int] = None, registry=None):
+        self.sim = sim
+        self.fabric = fabric
+        self.pmap = pmap
+        self.local_pid = local_pid
+        self.registry = registry
+        self._assign = pmap.assignment
+        self._heap: List[tuple] = []
+        self._seq = [0] * pmap.n_partitions
+        self._wakes: set = set()
+        self._drain_cb = self._drain
+        self.outbox: Optional[Dict[int, List[tuple]]] = (
+            {p: [] for p in range(pmap.n_partitions)}
+            if local_pid is not None else None)
+        # Counters + cross-edge traffic matrices (for refine/inspector).
+        self.records_out = 0
+        self.records_in = 0
+        self.wakes = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.traffic_out: Dict[Tuple[str, int], List[int]] = {}
+        self.traffic_in: Dict[Tuple[str, int], List[int]] = {}
+
+    @property
+    def lookahead(self) -> float:
+        return self.pmap.lookahead(self.fabric.latency)
+
+    def is_cross(self, a: str, b: str) -> bool:
+        m = self._assign
+        pa = m.get(a)
+        if pa is None:
+            return False
+        pb = m.get(b)
+        return pb is not None and pa != pb
+
+    # -- sending side ---------------------------------------------------
+    def submit(self, msg, copies: List[Tuple[str, float]], tx_done: float) -> None:
+        """Queue cross-partition copies of ``msg`` (called by the fabric
+        while it still owns the envelope; fields are copied out here)."""
+        assign = self._assign
+        src_pid = assign[msg.src]
+        base = tx_done + self.fabric.latency + self.pmap.cross_latency
+        wire = msg.wire_size
+        registry = self.registry
+        seq = self._seq[src_pid]
+        for hostid, extra in copies:
+            seq += 1
+            rec = (base + extra, src_pid, seq, hostid, msg.src, msg.kind,
+                   msg.payload, msg.size, msg.group, msg.req_id)
+            dst_pid = assign[hostid]
+            cell = self.traffic_out.get((msg.src, dst_pid))
+            if cell is None:
+                cell = self.traffic_out[(msg.src, dst_pid)] = [0, 0]
+            cell[0] += 1
+            cell[1] += wire
+            if registry is not None:
+                registry.stats(PARTITION_SCOPE,
+                               f"p{src_pid}->p{dst_pid}").observe_oneway(wire)
+            if self.outbox is None:
+                self._push(rec)
+            else:
+                self.outbox[dst_pid].append(rec)
+        self._seq[src_pid] = seq
+        self.records_out += len(copies)
+
+    def flush_outbox(self) -> Dict[int, List[tuple]]:
+        """Take and reset the per-partition outbound queues (mp/inproc)."""
+        if self.outbox is None:
+            return {}
+        out = {p: recs for p, recs in self.outbox.items() if recs}
+        for p in out:
+            self.outbox[p] = []
+        return out
+
+    # -- receiving side -------------------------------------------------
+    def inject(self, records: Sequence[tuple]) -> None:
+        """Accept records shipped from other partitions (between windows;
+        every ``arrive`` must still be in this worker's future)."""
+        self.records_in += len(records)
+        for rec in records:
+            self._push(rec)
+
+    def _push(self, rec: tuple) -> None:
+        heapq.heappush(self._heap, rec)
+        self._wake_at(rec[0])
+
+    def _wake_at(self, t: float) -> None:
+        if t in self._wakes:
+            return
+        self._wakes.add(t)
+        # Priority 2: at instant t every ordinary local event (priority
+        # <= 1) runs first, then the drain — identical interleaving in
+        # serial and partitioned runs.  Scheduled by absolute time so the
+        # drain's sim.now is bit-identical across backends.
+        ev = Event(self.sim)
+        ev.state = SUCCEEDED
+        ev._callbacks = [self._drain_cb]
+        self.sim._schedule_at(ev, t, priority=2)
+        self.wakes += 1
+
+    def _drain(self, _ev) -> None:
+        sim = self.sim
+        now = sim.now
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            self._deliver(heapq.heappop(heap))
+        if self._wakes:
+            self._wakes = {t for t in self._wakes if t > now}
+        if heap:  # belt and braces: never strand a record
+            self._wake_at(heap[0][0])
+
+    def _deliver(self, rec: tuple) -> None:
+        arrive, src_pid, _seq, dst_id, src_id, kind, payload, size, group, req_id = rec
+        cell = self.traffic_in.get((dst_id, src_pid))
+        if cell is None:
+            cell = self.traffic_in[(dst_id, src_pid)] = [0, 0]
+        cell[0] += 1
+        cell[1] += size + HEADER_BYTES
+        fabric = self.fabric
+        dst = fabric.hosts.get(dst_id)
+        if dst is None or not dst.alive or dst.deliver is None:
+            fabric.messages_dropped += 1
+            self.dropped += 1
+            return
+        # The receiver's rx link is reserved at the boundary (not at the
+        # sender's tx time): the record arrives at the partition edge at
+        # ``arrive`` and only then competes for the destination NIC.
+        _start, rx_done = dst.nic.rx.reserve(size + HEADER_BYTES,
+                                             not_before=arrive)
+        final = rx_done if rx_done > arrive else arrive
+        msg = acquire_message(src_id, dst_id, kind, payload, size,
+                              group=group, req_id=req_id)
+        msg._refs = 1
+        self.delivered += 1
+        self.sim.timeout(final - self.sim.now).add_callback(
+            lambda _e, d=dst, m=msg: fabric._deliver_copy(d, m))
+
+    # -- reporting ------------------------------------------------------
+    def cross_matrix(self) -> Dict[str, List[int]]:
+        """partition->partition [records, bytes], JSON-friendly keys."""
+        assign = self._assign
+        matrix: Dict[str, List[int]] = {}
+        for (src_host, dst_pid), (cnt, nbytes) in self.traffic_out.items():
+            key = f"p{assign[src_host]}->p{dst_pid}"
+            cell = matrix.setdefault(key, [0, 0])
+            cell[0] += cnt
+            cell[1] += nbytes
+        return matrix
+
+    def stats_dict(self) -> Dict[str, Any]:
+        return {
+            "n_partitions": self.pmap.n_partitions,
+            "local_pid": self.local_pid,
+            "lookahead_s": self.lookahead,
+            "records_out": self.records_out,
+            "records_in": self.records_in,
+            "wakes": self.wakes,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "cross_matrix": self.cross_matrix(),
+        }
+
+
+# ------------------------------------------------- adaptive re-clustering
+def merge_traffic(parts: Sequence[Mapping[Tuple[str, int], Sequence[int]]],
+                  ) -> Dict[Tuple[str, int], List[int]]:
+    merged: Dict[Tuple[str, int], List[int]] = {}
+    for part in parts:
+        for key, (cnt, nbytes) in part.items():
+            cell = merged.get(key)
+            if cell is None:
+                merged[key] = [cnt, nbytes]
+            else:
+                cell[0] += cnt
+                cell[1] += nbytes
+    return merged
+
+
+def refine(pmap: PartitionMap,
+           traffic_out: Mapping[Tuple[str, int], Sequence[int]],
+           traffic_in: Mapping[Tuple[str, int], Sequence[int]],
+           slack: float = 0.25,
+           max_moves: Optional[int] = None) -> Tuple[PartitionMap, int]:
+    """One self-clustering pass: migrate chattering hosts into the
+    partition they exchange the most messages with.
+
+    ``traffic_out[(host, pid)]`` counts records host sent *to* partition
+    pid; ``traffic_in[(host, pid)]`` counts records host received *from*
+    pid (both as ``[records, bytes]``).  Hosts are visited in order of
+    decreasing cross-partition traffic and moved greedily to their
+    highest-affinity partition, subject to a balance cap of
+    ``avg_size * (1 + slack)`` hosts per partition.  Deterministic:
+    ties break on hostid.
+    """
+    P = pmap.n_partitions
+    affinity: Dict[str, List[float]] = {}
+    for (host, pid), (cnt, _b) in traffic_out.items():
+        affinity.setdefault(host, [0.0] * P)[pid] += cnt
+    for (host, pid), (cnt, _b) in traffic_in.items():
+        affinity.setdefault(host, [0.0] * P)[pid] += cnt
+    assignment = dict(pmap.assignment)
+    sizes = pmap.sizes()
+    cap = math.ceil(len(assignment) / P * (1.0 + slack))
+
+    def cross_traffic(host: str) -> float:
+        aff = affinity.get(host)
+        if aff is None:
+            return 0.0
+        own = assignment.get(host)
+        return sum(a for p, a in enumerate(aff) if p != own)
+
+    moves = 0
+    for host in sorted(affinity, key=lambda h: (-cross_traffic(h), h)):
+        cur = assignment.get(host)
+        if cur is None:
+            continue
+        aff = affinity[host]
+        best = max(range(P), key=lambda p: (aff[p], -p))
+        if best == cur or aff[best] <= aff[cur]:
+            continue
+        if sizes[best] + 1 > cap:
+            continue
+        assignment[host] = best
+        sizes[cur] -= 1
+        sizes[best] += 1
+        moves += 1
+        if max_moves is not None and moves >= max_moves:
+            break
+    return PartitionMap(assignment, P, pmap.cross_latency), moves
+
+
+# ------------------------------------------------------------ window math
+def _grid_next(t: float, L: float) -> float:
+    """The smallest multiple of ``L`` strictly greater than ``t``."""
+    return (math.floor(t / L) + 1) * L
+
+
+def _grid_ceil(t: float, L: float) -> float:
+    """The smallest multiple of ``L`` at or above ``t``."""
+    return math.ceil(t / L) * L
+
+
+# -------------------------------------------------------------- the worker
+class _Worker:
+    """One partition's event loop plus the per-phase bookkeeping.
+
+    Identical code runs in all three backends; only how the coordinator
+    reaches it differs (direct calls, or a command pipe).
+    """
+
+    def __init__(self, program):
+        self.program = program
+        self.sim: Simulator = program.sim
+        self.transit: Transit = program.transit
+        self._mode: Optional[str] = None
+        self._open = 0
+        self._done_t = 0.0
+        self.busy_wall = 0.0
+
+    # Commands ----------------------------------------------------------
+    def handle(self, cmd: tuple):
+        t0 = time.perf_counter()
+        try:
+            op = cmd[0]
+            if op == "phase":
+                return self._start_phase(cmd[1], cmd[2])
+            if op == "win":
+                return self._run_window(cmd[1], cmd[2])
+            if op == "result":
+                return {
+                    "result": self.program.result(),
+                    "events": self.sim._nprocessed,
+                    "peak_pending": self.sim._peak_pending,
+                    "clock": self.sim.now,
+                    "busy_wall_s": self.busy_wall,
+                    "transit": self.transit.stats_dict(),
+                    "traffic_out": self.transit.traffic_out,
+                    "traffic_in": self.transit.traffic_in,
+                }
+            raise ValueError(f"unknown worker command {op!r}")
+        finally:
+            self.busy_wall += time.perf_counter() - t0
+
+    def _status(self) -> tuple:
+        done = self._mode != "procs" or self._open == 0
+        return ("s", self.sim.next_event_time(), done, self._done_t,
+                self.transit.flush_outbox())
+
+    def _start_phase(self, idx: int, t_start: float) -> tuple:
+        sim = self.sim
+        if t_start > sim.now:
+            # Grid-aligned and > every processed event: a pure clock hop.
+            sim.now = t_start
+        kind, arg = self.program.phases()[idx]
+        self._mode = kind
+        self._open = 0
+        self._done_t = sim.now
+        if kind == "call":
+            arg(self.program)
+        elif kind == "procs":
+            procs = arg(self.program)
+            self._open = len(procs)
+
+            def _one_done(_ev):
+                self._open -= 1
+                t = self.sim.now
+                if t > self._done_t:
+                    self._done_t = t
+
+            for p in procs:
+                if p.triggered:
+                    self._open -= 1
+                else:
+                    p.add_callback(_one_done)
+        elif kind != "until":
+            raise ValueError(f"unknown phase kind {kind!r}")
+        return self._status()
+
+    def _run_window(self, t_end: float, inbound) -> tuple:
+        if inbound:
+            self.transit.inject(inbound)
+        sim = self.sim
+        step = sim.step
+        nxt = sim.next_event_time
+        while True:
+            t = nxt()
+            if t is None or t >= t_end:
+                break
+            step()
+        return self._status()
+
+
+# ------------------------------------------------------------- endpoints
+class _LocalEndpoint:
+    """In-process coordinator<->worker link (serial/inproc backends)."""
+
+    def __init__(self, worker: _Worker):
+        self.worker = worker
+        self._reply = None
+
+    def post(self, cmd: tuple) -> None:
+        self._reply = self.worker.handle(cmd)
+
+    def wait(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def stop(self) -> None:
+        pass
+
+
+class _PipeEndpoint:
+    """Fork-per-partition link: commands and records ride one Pipe."""
+
+    def __init__(self, conn, proc):
+        self.conn = conn
+        self.proc = proc
+
+    def post(self, cmd: tuple) -> None:
+        self.conn.send(cmd)
+
+    def wait(self):
+        reply = self.conn.recv()
+        if isinstance(reply, tuple) and reply and reply[0] == "err":
+            raise RuntimeError(f"partition worker failed: {reply[1]}")
+        return reply
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.close()
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():
+            self.proc.terminate()
+
+
+def _mp_worker_main(conn, builder, args, pid) -> None:
+    try:
+        program = builder(*args, local_pid=pid)
+        worker = _Worker(program)
+    except Exception as exc:  # noqa: BLE001 - ship the failure to the parent
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        cmd = conn.recv()
+        if cmd[0] == "stop":
+            return
+        try:
+            conn.send(worker.handle(cmd))
+        except Exception as exc:  # noqa: BLE001
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            return
+
+
+# ----------------------------------------------------------- coordinator
+@dataclass
+class RunStats:
+    backend: str = "serial"
+    n_partitions: int = 1
+    windows: int = 0
+    barriers: int = 0
+    records_shipped: int = 0
+    wall_s: float = 0.0
+    barrier_wall_s: float = 0.0     # coordinator time around window rounds
+    busy_wall_s: List[float] = field(default_factory=list)
+    events: List[int] = field(default_factory=list)
+    phase_log: List[Dict[str, float]] = field(default_factory=list)
+
+
+def run_partitioned(builder: Callable, args: tuple, pmap: PartitionMap,
+                    phase_meta: Sequence[Tuple[str, Optional[float]]],
+                    backend: str = "serial",
+                    fabric_latency: Optional[float] = None,
+                    horizon: float = 1e7) -> Dict[str, Any]:
+    """Execute a phased partition program under conservative windows.
+
+    ``builder(*args, local_pid=...)`` constructs one partition program: an
+    object with ``sim`` (Simulator), ``transit`` (Transit), ``phases()``
+    (the phase list) and ``result()`` (a picklable summary).  With
+    ``local_pid=None`` it builds the whole model in one Simulator — the
+    serial reference execution of the *same* partitioned model.
+
+    ``phase_meta`` mirrors ``phases()`` shapes for the coordinator:
+    ``("until", T)`` advances every partition to the grid point at/above
+    ``T``; ``("call", None)`` runs a setup callable at the current grid
+    point (no sim time passes); ``("procs", None)`` spawns processes and
+    windows forward until every partition's processes have completed.
+
+    Returns ``{"results": [per-partition result dicts], "stats": RunStats,
+    "traffic_out"/"traffic_in": merged matrices}``.
+    """
+    t_wall0 = time.perf_counter()
+    stats = RunStats(backend=backend, n_partitions=pmap.n_partitions)
+
+    endpoints: List[Any] = []
+    if backend == "serial":
+        program = builder(*args, local_pid=None)
+        endpoints.append(_LocalEndpoint(_Worker(program)))
+        L = program.transit.lookahead
+    elif backend == "inproc":
+        for p in range(pmap.n_partitions):
+            program = builder(*args, local_pid=p)
+            endpoints.append(_LocalEndpoint(_Worker(program)))
+        L = endpoints[0].worker.transit.lookahead
+    elif backend == "mp":
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+        for p in range(pmap.n_partitions):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_mp_worker_main,
+                               args=(child_conn, builder, args, p),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            endpoints.append(_PipeEndpoint(parent_conn, proc))
+        if fabric_latency is None:
+            raise ValueError("mp backend needs fabric_latency for lookahead")
+        L = pmap.lookahead(fabric_latency)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def broadcast(make_cmd) -> List[tuple]:
+        for i, ep in enumerate(endpoints):
+            ep.post(make_cmd(i))
+        return [ep.wait() for ep in endpoints]
+
+    # Records generated in one window, distributed at the next barrier.
+    pending: Dict[int, List[tuple]] = {i: [] for i in range(len(endpoints))}
+
+    def absorb(replies) -> Tuple[Optional[float], bool, float]:
+        """Fold a round of status replies into (T_min, all_done, t_all)."""
+        t_min: Optional[float] = None
+        all_done = True
+        t_all = 0.0
+        for _tag, next_t, done, done_t, out in replies:
+            if next_t is not None and (t_min is None or next_t < t_min):
+                t_min = next_t
+            all_done = all_done and done
+            if done_t > t_all:
+                t_all = done_t
+            for dst_pid, recs in out.items():
+                pending[dst_pid if len(endpoints) > 1 else 0].extend(recs)
+                stats.records_shipped += len(recs)
+        for recs in pending.values():
+            for rec in recs:
+                if t_min is None or rec[0] < t_min:
+                    t_min = rec[0]
+        return t_min, all_done, t_all
+
+    try:
+        t_cursor = 0.0
+        for idx, (kind, until_t) in enumerate(phase_meta):
+            t_phase0 = time.perf_counter()
+            t_phase_start = t_cursor
+            replies = broadcast(lambda _i, idx=idx: ("phase", idx, t_cursor))
+            t_min, all_done, t_all = absorb(replies)
+            target = None
+            if kind == "until":
+                target = max(_grid_ceil(until_t, L), t_cursor)
+            if kind != "call":
+                while True:
+                    if kind == "until" and (t_min is None or t_min >= target):
+                        t_cursor = target
+                        break
+                    if kind == "procs" and all_done:
+                        t_cursor = _grid_next(t_all, L)
+                        break
+                    if t_min is None:
+                        raise RuntimeError(
+                            f"phase {idx}: processes pending but no events "
+                            "in any partition (deadlock)")
+                    t_end = _grid_next(t_min, L)
+                    if kind == "until" and t_end > target:
+                        t_end = target
+                    if t_end > horizon:
+                        raise RuntimeError(
+                            f"phase {idx}: exceeded horizon {horizon}s")
+                    t_b0 = time.perf_counter()
+                    inbound, pending = pending, {
+                        i: [] for i in range(len(endpoints))}
+                    replies = broadcast(
+                        lambda i, t_end=t_end: ("win", t_end, inbound[i]))
+                    stats.barrier_wall_s += time.perf_counter() - t_b0
+                    stats.windows += 1
+                    stats.barriers += 1
+                    t_min, all_done, t_all = absorb(replies)
+            stats.phase_log.append({
+                "kind": kind, "t_start": round(t_phase_start, 9),
+                "t_end": round(t_cursor, 9),
+                "wall_s": round(time.perf_counter() - t_phase0, 3),
+            })
+        replies = broadcast(lambda _i: ("result",))
+    finally:
+        for ep in endpoints:
+            ep.stop()
+
+    stats.wall_s = time.perf_counter() - t_wall0
+    stats.busy_wall_s = [r["busy_wall_s"] for r in replies]
+    stats.events = [r["events"] for r in replies]
+    return {
+        "results": [r["result"] for r in replies],
+        "clocks": [r["clock"] for r in replies],
+        "peaks": [r.get("peak_pending", 0) for r in replies],
+        "transit": [r["transit"] for r in replies],
+        "traffic_out": merge_traffic([r["traffic_out"] for r in replies]),
+        "traffic_in": merge_traffic([r["traffic_in"] for r in replies]),
+        "stats": stats,
+    }

@@ -229,6 +229,36 @@ class ClusterInspector:
             totals["cached_pages"] += engine.cached_pages
         return totals
 
+    # ---------------------------------------------------------- partitions
+    def partition_report(self) -> Dict[str, object]:
+        """Conservative-parallel diagnostics for a partitioned deployment.
+
+        Empty dict when no partition map is installed (the common case).
+        Reports the partition layout, this worker's transit counters, and
+        the cross-edge traffic matrix (``"p0->p1" -> [records, bytes]``)
+        — the same matrix :func:`repro.sim.parallel.refine` clusters on.
+        In worker mode the numbers cover this partition's sends/receives;
+        the coordinator's merged view lives in ``run_partitioned``'s
+        result.
+        """
+        transit = getattr(self.dep, "transit", None)
+        if transit is None:
+            return {}
+        stats = transit.stats_dict()
+        pmap = transit.pmap
+        stats["partition_sizes"] = pmap.sizes()
+        stats["cut_edges"] = pmap.cut_edges(transit.traffic_out)
+        # Per-host chatter across the cut, noisiest first — the refine()
+        # migration candidates.
+        chatter: Dict[str, int] = {}
+        for (host, _pid), (cnt, _b) in transit.traffic_out.items():
+            chatter[host] = chatter.get(host, 0) + cnt
+        for (host, _pid), (cnt, _b) in transit.traffic_in.items():
+            chatter[host] = chatter.get(host, 0) + cnt
+        stats["noisiest_hosts"] = sorted(
+            chatter.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        return stats
+
     # --------------------------------------------------------------- text
     def summary(self) -> str:
         rep = self.replica_report()
@@ -269,4 +299,12 @@ class ClusterInspector:
                 f"({disk['dirty_pages']} still dirty); "
                 f"coalesced {disk['coalesced']} requests "
                 f"(queue peak {disk['queue_peak']})")
+        part = self.partition_report()
+        if part:
+            lines.append(
+                f"partitions: {part['n_partitions']} "
+                f"(lookahead {part['lookahead_s'] * 1e6:.0f}us, "
+                f"cut edges {part['cut_edges']}, "
+                f"records out {part['records_out']} / "
+                f"in {part['records_in']}, dropped {part['dropped']})")
         return "\n".join(lines)

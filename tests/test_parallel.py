@@ -1,0 +1,218 @@
+"""Conservative-parallel kernel: partition planning, transit, and the
+serial-vs-parallel determinism contract.
+
+The contract under test: with a fixed partition map and seed, the
+``serial`` backend (one Simulator hosting every partition of the
+partitioned model), the ``inproc`` backend (K Simulators in one
+process), and the ``mp`` backend (K forked workers) produce identical
+results — down to per-session completion timestamps, which are floats
+and therefore only equal when every event interleaving matches.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import small_cluster
+from repro.core import SorrentoConfig, SorrentoDeployment
+from repro.core.params import SorrentoParams
+from repro.experiments.partitioned import (
+    build_fig10_program,
+    build_scale_program,
+    partition_for_spec,
+    run_fig10_partitioned,
+)
+from repro.sim.parallel import (
+    PartitionMap,
+    _grid_ceil,
+    _grid_next,
+    plan_partitions,
+    refine,
+    run_partitioned,
+)
+from repro.tools.inspector import ClusterInspector
+
+GB = 1 << 30
+
+SCALE_HOSTS = [f"s{i:02d}" for i in range(8)] + [f"c{i:02d}" for i in range(20)]
+SCALE_POINT = (8, 256, 40, 1.0)  # providers, files, sessions, duration
+SCALE_PHASES = [("until", 3.0), ("call", None), ("procs", None)]
+
+
+# ----------------------------------------------------------- partition map
+def test_plan_partitions_balances_storage_and_spreads_compute():
+    pmap = plan_partitions([f"s{i}" for i in range(10)],
+                           [f"c{i}" for i in range(5)], 3)
+    sizes = pmap.sizes()
+    assert sum(sizes) == 15
+    storage_sizes = [0, 0, 0]
+    for i in range(10):
+        storage_sizes[pmap.pid(f"s{i}")] += 1
+    assert sorted(storage_sizes) == [3, 3, 4]
+    assert [pmap.pid(f"c{i}") for i in range(5)] == [0, 1, 2, 0, 1]
+
+
+def test_plan_partitions_groups_racks():
+    racks = {"s0": "r1", "s1": "r2", "s2": "r1", "s3": "r2"}
+    pmap = plan_partitions(["s0", "s1", "s2", "s3"], [], 2, racks=racks)
+    assert pmap.pid("s0") == pmap.pid("s2")
+    assert pmap.pid("s1") == pmap.pid("s3")
+    assert pmap.pid("s0") != pmap.pid("s1")
+
+
+def test_unknown_hosts_are_local_to_everyone():
+    pmap = PartitionMap({"a": 0, "b": 1}, 2)
+    assert pmap.is_cross("a", "b")
+    assert not pmap.is_cross("a", "late-joiner")
+    assert not pmap.is_cross("late-joiner", "b")
+
+
+def test_grid_math():
+    L = 4e-4
+    assert _grid_next(0.0, L) == L
+    assert _grid_next(L, L) == 2 * L
+    assert _grid_ceil(L, L) == L
+    assert _grid_ceil(0.0, L) == 0.0
+    t = 123.4567
+    assert _grid_next(t, L) > t
+    assert math.isclose(_grid_next(t, L) % L, 0.0, abs_tol=1e-12) \
+        or math.isclose(_grid_next(t, L) % L, L, abs_tol=1e-12)
+
+
+def test_refine_migrates_chatterer_and_respects_cap():
+    pmap = PartitionMap({"a": 0, "b": 0, "c": 1, "d": 1}, 2)
+    # "a" talks almost exclusively to partition 1.
+    traffic_out = {("a", 1): [100, 1000], ("a", 0): [1, 10]}
+    traffic_in = {("a", 1): [80, 800]}
+    refined, moves = refine(pmap, traffic_out, traffic_in)
+    assert moves == 1
+    assert refined.pid("a") == 1
+    # Balance cap: with slack 0, nobody can move into a full partition.
+    refined2, moves2 = refine(pmap, traffic_out, traffic_in, slack=0.0)
+    assert moves2 == 0
+    assert refined2.pid("a") == 0
+
+
+# --------------------------------------------------- determinism contract
+def _scale_outcome(pmap, backend):
+    """Per-session (idx, completion time, ok) rows — float-exact."""
+    out = run_partitioned(build_scale_program,
+                          (SCALE_POINT, 0, True, pmap), pmap, SCALE_PHASES,
+                          backend=backend, fabric_latency=80e-6)
+    rows = sorted(r for res in out["results"] for r in res["rows"])
+    assert len(rows) == SCALE_POINT[2]
+    return rows
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=len(SCALE_HOSTS),
+                max_size=len(SCALE_HOSTS)))
+def test_random_partition_maps_reproduce_serial_order(pids):
+    """Any 2-way cut of the small cluster: parallel == serial, down to
+    per-session completion timestamps."""
+    pmap = PartitionMap(dict(zip(SCALE_HOSTS, pids)), 2,
+                        cross_latency=5e-3)
+    assert _scale_outcome(pmap, "serial") == _scale_outcome(pmap, "inproc")
+
+
+def test_mp_backend_matches_serial():
+    spec = small_cluster(SCALE_POINT[0], n_compute=20,
+                         capacity_per_node=4 * GB,
+                         name=f"scale-{SCALE_POINT[0]}")
+    pmap = partition_for_spec(spec, 2, cross_latency=5e-3)
+    assert _scale_outcome(pmap, "serial") == _scale_outcome(pmap, "mp")
+
+
+def test_fig10_partitioned_golden():
+    """Pin the partitioned fig10_reduced smoke result (fixed map, fixed
+    seed): the macro suite's parallel entry must not drift silently, and
+    serial/inproc must agree on it."""
+    rows = {}
+    for backend in ("serial", "inproc"):
+        rows[backend] = run_fig10_partitioned(
+            n_clients=2, duration=1.5, n_storage=4, workers=2,
+            backend=backend, cross_latency=5e-3)
+    assert rows["serial"]["digest"] == rows["inproc"]["digest"]
+    assert rows["serial"]["tags"] == rows["inproc"]["tags"]
+    # The pinned golden (regenerate deliberately if the model changes):
+    assert rows["serial"]["tags"] == {"c0": 31, "c1": 13}
+    assert rows["serial"]["digest"] == "a25ffebe69746f4b"
+    assert rows["serial"]["sessions"] == 44
+
+
+def test_three_way_cut_fig10():
+    spec_storage = [f"a{i:02d}" for i in range(4)]
+    spec_compute = [f"ac{i:02d}" for i in range(3)]
+    pmap = plan_partitions(spec_storage, spec_compute, 3,
+                           cross_latency=5e-3)
+    meta = [("until", 8.0), ("procs", None), ("procs", None)]
+
+    def tags_for(backend):
+        out = run_partitioned(build_fig10_program, (3, 1.0, 4, 0, pmap),
+                              pmap, meta, backend=backend,
+                              fabric_latency=80e-6)
+        tags = {}
+        for r in out["results"]:
+            tags.update(r["tags"])
+        return sorted(tags.items())
+
+    serial = tags_for("serial")
+    assert serial == tags_for("inproc")
+    assert sum(n for _t, n in serial) > 0
+
+
+# ------------------------------------------------------ substrate details
+def test_dormant_shells_build_identically_but_stay_quiet():
+    spec = small_cluster(4, n_compute=2, capacity_per_node=4 * GB)
+    pmap = partition_for_spec(spec, 2)
+    dep = SorrentoDeployment(spec, SorrentoConfig(
+        params=SorrentoParams(), partition=pmap, local_partition=0))
+    # Full shell set, partial daemon set.
+    assert len(dep.nodes) == 6
+    assert len(dep.provider_names) == 4
+    local = {h for h in dep.provider_names if pmap.pid(h) == 0}
+    assert set(dep.providers) == local
+    for name, node in dep.nodes.items():
+        if pmap.pid(name) != 0:
+            assert node.dormant
+            assert node.spawn(x for x in ()) is None
+            assert node._monitor is None
+        else:
+            assert not node.dormant
+
+
+def test_serial_with_map_transit_and_inspector_report():
+    """Serial-with-map is a plain single-Simulator run: cross-partition
+    heartbeats flow through the transit, land in the metrics registry's
+    partition scope, and surface in the inspector."""
+    spec = small_cluster(4, n_compute=2, capacity_per_node=4 * GB)
+    pmap = partition_for_spec(spec, 2)
+    dep = SorrentoDeployment(spec, SorrentoConfig(
+        params=SorrentoParams(), partition=pmap))
+    dep.warm_up(3.0)
+    transit = dep.transit
+    assert transit is not None
+    assert transit.records_out > 0
+    assert transit.delivered > 0
+    assert transit.dropped == 0
+    matrix = transit.cross_matrix()
+    assert "p0->p1" in matrix and "p1->p0" in matrix
+    # The registry view of the same traffic.
+    stats = dict(dep.metrics.items("partition"))
+    assert stats[("partition", "p0->p1")].oneways == \
+        sum(cnt for (_h, d), (cnt, _b) in transit.traffic_out.items()
+            if d == 1 and pmap.pid(_h) == 0)
+    report = ClusterInspector(dep).partition_report()
+    assert report["n_partitions"] == 2
+    assert report["records_out"] == transit.records_out
+    assert report["cut_edges"] > 0
+    assert report["noisiest_hosts"]
+
+
+def test_unpartitioned_deployment_has_no_transit():
+    spec = small_cluster(2, n_compute=1, capacity_per_node=4 * GB)
+    dep = SorrentoDeployment(spec, SorrentoConfig(params=SorrentoParams()))
+    assert dep.transit is None
+    assert dep.fabric.transit is None
+    assert ClusterInspector(dep).partition_report() == {}
