@@ -20,7 +20,26 @@ from pathlib import Path
 from repro.bench.harness import append_entry, bench_entry
 from repro.bench.kernel_bench import run_kernel_suite
 from repro.bench.macro_bench import run_macro_suite
+from repro.bench.nsshard_bench import curve_summary, run_nsshard_suite
 from repro.bench.scale_bench import run_scale_suite
+
+
+def record_ns_shard_curve(path: Path, entry: dict) -> dict:
+    """Store the shard curve under its own top-level key.
+
+    Deliberately *not* ``append_entry``: the ``entries`` trajectory and
+    its headline compare successive runs of the same scale suite, and
+    the shard curve is a different measurement surface.
+    """
+    doc = {"benchmark": "scale", "entries": []}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except (ValueError, OSError):
+            pass
+    doc["ns_shard_curve"] = entry
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
 
 
 def main(argv=None) -> int:
@@ -32,7 +51,8 @@ def main(argv=None) -> int:
                         help="label recorded with this entry")
     parser.add_argument("--out-dir", default=".",
                         help="directory holding BENCH_*.json")
-    parser.add_argument("--only", choices=("kernel", "macro", "scale"),
+    parser.add_argument("--only",
+                        choices=("kernel", "macro", "scale", "nsshard"),
                         default=None)
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per benchmark (best wall kept)")
@@ -61,6 +81,12 @@ def main(argv=None) -> int:
                            benchmark="scale")
         if "headline" in doc:
             print(json.dumps(doc["headline"], indent=2), file=sys.stderr)
+    if args.only in (None, "nsshard"):
+        results = run_nsshard_suite(smoke=args.smoke, repeat=args.repeat)
+        entry = bench_entry(args.label, results, args.smoke)
+        entry["curve"] = curve_summary(results)
+        record_ns_shard_curve(out / "BENCH_scale.json", entry)
+        print(json.dumps(entry["curve"], indent=2), file=sys.stderr)
     return 0
 
 

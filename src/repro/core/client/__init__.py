@@ -13,7 +13,8 @@ processes (``yield from client.open(...)``).  The stub implements:
 * a versioning-off mode for applications managing their own consistency.
 
 The implementation is split into cohesive modules — ``handle`` (session
-state), ``namespace_ops`` (pathname RPCs), ``placement`` (locate/place),
+state), ``router`` (shard/partition/failover routing),
+``namespace_ops`` (pathname RPCs), ``placement`` (locate/place),
 ``io`` (the data path), ``versioning`` (shadow/commit/close) — combined
 by ``stub.SorrentoClient``.  This package re-exports the public names so
 ``from repro.core.client import SorrentoClient`` keeps working.
@@ -26,17 +27,21 @@ from repro.core.client.handle import (
     NotFoundError,
     SorrentoError,
     TimeoutError,
+    WrongShardError,
     make_layout_for,
 )
+from repro.core.client.router import NamespaceRouter
 from repro.core.client.stub import SorrentoClient
 
 __all__ = [
     "CommitConflict",
     "ConflictError",
     "FileHandle",
+    "NamespaceRouter",
     "NotFoundError",
     "SorrentoClient",
     "SorrentoError",
     "TimeoutError",
+    "WrongShardError",
     "make_layout_for",
 ]

@@ -34,6 +34,24 @@ class TimeoutError(SorrentoError):  # noqa: A001 - deliberate shadow
     """A server needed for the operation did not answer in time."""
 
 
+class WrongShardError(SorrentoError):
+    """A namespace shard redirected the request: the path hashed to a
+    different shard under the current ring epoch.  The router consumes
+    these internally (learning the owner and retrying); applications
+    only see one if redirects exceed ``ns_redirect_limit``, which means
+    the shard map is churning faster than the client can chase it.
+
+    ``owner`` is the redirecting server's view of the owning shard and
+    ``epoch`` its shard-map epoch (0 when the reply did not carry one).
+    """
+
+    def __init__(self, message: str, owner: Optional[str] = None,
+                 epoch: int = 0):
+        super().__init__(message)
+        self.owner = owner
+        self.epoch = epoch
+
+
 def _meta_size(meta: Optional[dict]) -> int:
     if not meta:
         return 64

@@ -60,7 +60,7 @@ class DataPathMixin:
         cacheable = (mode == "r" and version is None and not meta_only
                      and self.params.entry_cache_enabled)
         if cacheable:
-            entry = self.entry_cache.get(path, self.sim.now)
+            entry = self.entry_cache.get(self._entry_key(path), self.sim.now)
             self._cache_note("entry_hits" if entry is not None
                              else "entry_misses")
         if entry is None:
@@ -76,7 +76,7 @@ class DataPathMixin:
                     # Lost a create race: the other writer's entry is ours too.
                     entry = yield from self._call_ns("ns_lookup", path)
             if self.params.entry_cache_enabled:
-                self.entry_cache.put(path, entry, self.sim.now)
+                self.entry_cache.put(self._entry_key(path), entry, self.sim.now)
         if version is not None:
             if not 0 < version <= entry["version"]:
                 raise NotFoundError(
@@ -582,7 +582,7 @@ class DataPathMixin:
         fh.entry = entry
         fh.base_version = 1
         if self.params.entry_cache_enabled:
-            self.entry_cache.put(fh.path, entry, self.sim.now)
+            self.entry_cache.put(self._entry_key(fh.path), entry, self.sim.now)
 
     # ============================================================== unlink
     def unlink(self, path: str):
@@ -598,7 +598,7 @@ class DataPathMixin:
         segids = [ref.segid for ref in fh.layout.segments] + [entry["fileid"]]
         # The file is gone: drop every cached trace of it (organic
         # invalidation, not staleness — no counter).
-        self.entry_cache.evict(path)
+        self.entry_cache.evict(self._entry_key(path))
         self.meta_cache.evict(entry["fileid"])
         for segid in segids:
             self.loc_cache.evict(segid)

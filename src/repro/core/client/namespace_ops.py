@@ -1,83 +1,65 @@
 """Pathname operations against the namespace server(s) (Section 3.1).
 
-Includes primary/standby failover and the directory-tree partitioning
-variant where each top-level directory hashes to one namespace server.
+All routing — primary/standby failover, the legacy directory-tree
+partitioning variant, and the sharded namespace with redirect chasing —
+lives in :class:`repro.core.client.router.NamespaceRouter`; this mixin
+is the operation vocabulary on top of it.  Cross-shard rename/link run
+a two-phase commit over the owning shards' staged-mutation handlers.
 """
 
 from __future__ import annotations
 
-import hashlib
-from typing import Optional
+from typing import List, Optional
 
-from repro.core.client.handle import (
-    ConflictError,
-    NotFoundError,
-    SorrentoError,
-    TimeoutError,
-)
-from repro.network.message import RpcRemoteError, RpcTimeout
+from repro.core.client.handle import ConflictError
+from repro.core.client.router import _namespace_error  # noqa: F401  (compat)
+from repro.core.twophase import CommitAborted, two_phase_commit
 from repro.sim import gather
 
+NS_2PC_SERVICES = ("ns_prepare", "ns_commit", "ns_abort")
 
-def _namespace_error(error: str) -> SorrentoError:
-    """Map a remote ``NamespaceError`` string onto the typed hierarchy."""
-    if "ENOENT" in error:
-        return NotFoundError(error)
-    if "EEXIST" in error or "ENOTEMPTY" in error:
-        return ConflictError(error)
-    return SorrentoError(error)
+
+def _parent_dir(path: str) -> str:
+    head = path.rpartition("/")[0]
+    return head or "/"
 
 
 class NamespaceOpsMixin:
     """Namespace RPCs: lookup, create, directories, leases, milestones."""
 
     # ------------------------------------------------------------ routing
+    # Routing state lives on self.router; these properties keep the
+    # client's historical surface (tests and tools poke at them).
     @property
     def ns_host(self) -> str:
         """The namespace server currently targeted (failover-aware)."""
-        return self.ns_hosts[self._ns_active]
+        return self.router.ns_hosts[self.router._active]
+
+    @property
+    def ns_hosts(self) -> List[str]:
+        return self.router.ns_hosts
+
+    @property
+    def _ns_active(self) -> int:
+        return self.router._active
+
+    @property
+    def ns_partitions(self) -> Optional[List[str]]:
+        return self.router.partitions
 
     def _ns_for(self, payload) -> Optional[str]:
         """Partitioned namespace routing: hash the top-level directory."""
-        if self.ns_partitions is None:
-            return None
-        path = payload if isinstance(payload, str) else payload.get("path", "")
-        top = path.split("/", 2)[1] if path.startswith("/") else path
-        idx = int.from_bytes(
-            hashlib.sha1(top.encode()).digest()[:4], "big"
-        ) % len(self.ns_partitions)
-        return self.ns_partitions[idx]
+        return self.router.partition_for(payload)
+
+    def _entry_key(self, path: str):
+        """Entry-cache key: (shard-epoch, path), so a ring change
+        strands every entry cached under the old routing at once."""
+        return (self.router.epoch, path)
 
     def _call_ns(self, service: str, payload, size: int = 64, rtts: int = 1):
-        partition = self._ns_for(payload)
-        if partition is not None:
-            try:
-                result = yield from self.rpc.call(
-                    partition, service, payload, size=size, rtts=rtts,
-                )
-                return result
-            except RpcRemoteError as exc:
-                if "NamespaceError" in exc.error:
-                    raise _namespace_error(exc.error) from exc
-                raise
-        last_exc = None
-        for _attempt in range(len(self.ns_hosts)):
-            try:
-                result = yield from self.rpc.call(
-                    self.ns_host, service, payload, size=size, rtts=rtts,
-                )
-                return result
-            except RpcRemoteError as exc:
-                if "NamespaceError" in exc.error:
-                    raise _namespace_error(exc.error) from exc
-                raise
-            except RpcTimeout as exc:
-                # Primary unreachable: fail over to the standby replica.
-                last_exc = exc
-                self._ns_active = (self._ns_active + 1) % len(self.ns_hosts)
-        raise TimeoutError(
-            f"namespace server unreachable: {last_exc}"
-        ) from last_exc
+        result = yield from self.router.call(service, payload,
+                                             size=size, rtts=rtts)
+        return result
 
     # ------------------------------------------------------------ dir ops
     def mkdir(self, path: str):
@@ -91,16 +73,45 @@ class NamespaceOpsMixin:
         return result
 
     def listdir(self, path: str):
-        if self.ns_partitions is not None and path == "/":
+        fanout = None
+        if path == "/":
+            if self.router.sharded:
+                # The root spans every shard: ask each primary.
+                fanout = [hosts[0] for hosts in self.router.shards.values()]
+            elif self.ns_partitions is not None:
+                fanout = self.ns_partitions
+        if fanout is not None:
             # The root spans every partition: fan out and merge.
             def list_on(host):
                 names = yield from self.rpc.call(host, "ns_list", "/", size=64)
                 return names
 
             parts = yield from gather(
-                self.sim, [list_on(h) for h in self.ns_partitions])
-            merged = sorted({name for names in parts for name in names})
-            return merged
+                self.sim, [list_on(h) for h in fanout])
+            merged = set()
+            best_epoch, best_shards = -1, None
+            for part in parts:
+                if isinstance(part, dict):
+                    # Sharded servers piggyback their shard-map snapshot
+                    # on root listings (the one namespace op that cannot
+                    # redirect) so a stale client discovers shards it
+                    # has never been bounced to.
+                    merged.update(part["names"])
+                    if part["epoch"] > best_epoch:
+                        best_epoch = part["epoch"]
+                        best_shards = part["shards"]
+                else:
+                    merged.update(part)
+            if best_shards is not None:
+                new = self.router.learn_shards(best_epoch, best_shards)
+                extra = [s for s in new if s not in fanout]
+                if extra:
+                    parts = yield from gather(
+                        self.sim, [list_on(h) for h in extra])
+                    for part in parts:
+                        merged.update(part["names"]
+                                      if isinstance(part, dict) else part)
+            return sorted(merged)
         result = yield from self._call_ns("ns_list", path)
         return result
 
@@ -130,6 +141,71 @@ class NamespaceOpsMixin:
         }
         entry = yield from self._call_ns("ns_create", req, size=160)
         return entry
+
+    # ----------------------------------------------------- rename / link
+    def rename(self, src_path: str, dst_path: str):
+        """Atomically move a file entry to a new path.
+
+        Same-shard (and unsharded/partitioned-same-server) renames are
+        one ``ns_rename`` RPC; when the two paths hash to different
+        namespace servers the move runs as a two-phase commit over both
+        shards' staged-mutation handlers, so either both the delete of
+        the old name and the insert of the new one land, or neither.
+        """
+        src_target = self.router.route_host(src_path)
+        dst_target = self.router.route_host(dst_path)
+        if src_target == dst_target:
+            moved = yield from self._call_ns(
+                "ns_rename", {"path": src_path, "dst": dst_path}, size=96)
+        else:
+            moved = yield from self._cross_shard_move(
+                src_path, dst_path, keep_source=False)
+        self.entry_cache.evict(self._entry_key(src_path))
+        self.entry_cache.evict(self._entry_key(dst_path))
+        return moved
+
+    def link(self, src_path: str, dst_path: str):
+        """Alias a file under a second path (both resolve to the same
+        FileID).  Cross-shard links use the same 2PC as rename."""
+        src_target = self.router.route_host(src_path)
+        dst_target = self.router.route_host(dst_path)
+        if src_target == dst_target:
+            alias = yield from self._call_ns(
+                "ns_link", {"path": src_path, "dst": dst_path}, size=96)
+        else:
+            alias = yield from self._cross_shard_move(
+                src_path, dst_path, keep_source=True)
+        self.entry_cache.evict(self._entry_key(dst_path))
+        return alias
+
+    def _cross_shard_move(self, src_path: str, dst_path: str, *,
+                          keep_source: bool):
+        entry = yield from self._call_ns("ns_lookup", src_path)
+        moved = dict(entry, path=dst_path)
+        txid = self.ids.new_id()
+        src_ops = [] if keep_source else [{"op": "del", "key": "f:" + src_path}]
+        participants = [
+            (self.router.route_host(src_path), {
+                "txid": txid,
+                "checks": [{"key": "f:" + src_path, "must": "present"}],
+                "ops": src_ops,
+            }),
+            (self.router.route_host(dst_path), {
+                "txid": txid,
+                "checks": [
+                    {"key": "f:" + dst_path, "must": "absent"},
+                    {"key": "d:" + _parent_dir(dst_path), "must": "present"},
+                ],
+                "ops": [{"op": "put", "key": "f:" + dst_path, "value": moved}],
+            }),
+        ]
+        try:
+            yield from two_phase_commit(self.rpc, participants, req_size=192,
+                                        services=NS_2PC_SERVICES)
+        except CommitAborted as exc:
+            raise ConflictError(
+                f"rename {src_path} -> {dst_path} aborted: {exc}") from exc
+        return moved
 
     # ------------------------------------------------------------ leases
     def acquire_lease(self, path: str, duration: float = 30.0):

@@ -10,6 +10,7 @@ from repro.core.client.handle import FileHandle, SorrentoError
 from repro.core.client.io import DataPathMixin
 from repro.core.client.namespace_ops import NamespaceOpsMixin
 from repro.core.client.placement import PlacementMixin
+from repro.core.client.router import NamespaceRouter
 from repro.core.client.versioning import VersioningMixin
 from repro.core.hashing import HashRing
 from repro.core.ids import IdGenerator
@@ -31,23 +32,26 @@ class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
     def __init__(self, node, ns_host, params: Optional[SorrentoParams] = None,
                  rng: Optional[random.Random] = None,
                  membership: Optional[MembershipManager] = None,
-                 ns_partitions: Optional[List[str]] = None):
+                 ns_partitions: Optional[List[str]] = None,
+                 ns_shards: Optional[Dict[str, List[str]]] = None,
+                 ns_shard_epoch: int = 1):
         self.node = node
         self.sim = node.sim
-        # ns_host may be a single hostid or a failover list
-        # [primary, standby, ...] when namespace replication is on.
-        self.ns_hosts: List[str] = ([ns_host] if isinstance(ns_host, str)
-                                    else list(ns_host))
-        self._ns_active = 0
-        # Directory-tree partitioning (the other §3.1 scaling approach):
-        # each top-level directory hashes to one namespace server.
-        self.ns_partitions = list(ns_partitions) if ns_partitions else None
         self.params = params or SorrentoParams()
         # crc32, not hash(): the builtin string hash is randomized per
         # interpreter launch, breaking cross-process replay.
         self.rng = rng or random.Random(zlib.crc32(node.hostid.encode()) & 0xFFFFFF)
         self.rpc = node.runtime
         self.rpc.configure(policy=self.params.rpc_policy())
+        # All namespace routing — failover, legacy partitioning, and the
+        # sharded ring with redirect chasing — lives in the router.
+        # ns_host may be a single hostid or a failover list
+        # [primary, standby, ...] when namespace replication is on.
+        self.router = NamespaceRouter(
+            self.rpc, self.sim, self.params, ns_host,
+            partitions=ns_partitions, shards=ns_shards,
+            epoch=ns_shard_epoch, note=self._cache_note,
+        )
         self.membership = membership or MembershipManager(
             node, interval=self.params.heartbeat_interval, announce=False
         )
@@ -65,7 +69,8 @@ class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
                       "loc_hits": 0, "loc_misses": 0, "loc_stale": 0,
                       "entry_hits": 0, "entry_misses": 0,
                       "meta_hits": 0, "meta_misses": 0,
-                      "vec_rpcs": 0, "vec_pieces": 0}
+                      "vec_rpcs": 0, "vec_pieces": 0,
+                      "route_hits": 0, "route_misses": 0, "ns_redirects": 0}
         # The caching-and-batching plane: location/entry/meta caches plus
         # the membership hook that evicts a dead owner's claims.
         self.loc_cache = ClientLocationCache(self.params.loc_cache_ttl,

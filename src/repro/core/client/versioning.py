@@ -157,7 +157,7 @@ class VersioningMixin:
                 self.loc_cache.learn(segid, owner, 1, now)
             self.loc_cache.learn(fh.fileid, index_owner, index_version, now)
         if self.params.entry_cache_enabled:
-            self.entry_cache.put(fh.path, entry, self.sim.now)
+            self.entry_cache.put(self._entry_key(fh.path), entry, self.sim.now)
         if self.params.meta_cache_enabled and fh.versioning:
             self.meta_cache.put(fh.fileid, (new_version, meta, index_owner),
                                 self.sim.now)

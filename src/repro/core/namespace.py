@@ -10,15 +10,28 @@ namespace server is able to handle 1300 namespace operations per second").
 The directory tree lives in the embedded KV store (the paper used
 Berkeley DB) with write-ahead logging, group commit, and periodic
 checkpoints for recovery.
+
+Sharding extension: the tree can be partitioned across N shard servers
+by top-level directory.  :class:`NamespaceShardMap` is the authoritative
+prefix -> shard assignment (a consistent-hash ring over shard names with
+a monotonically increasing *epoch*); every shard server holds a
+reference and answers requests for paths it does not own with an
+``EWRONGSHARD`` redirect naming the owner and the current epoch, which
+the client-side router uses to repair its stale route cache.  Cross-
+shard renames/links run through staged prepare/commit/abort handlers
+driven by the generic two-phase coordinator in ``core/twophase.py``.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.hashing import HashRing
 from repro.core.params import SorrentoParams
 from repro.kvstore import KVStore
+from repro.network.message import RpcRemoteError, RpcTimeout
 from repro.sim import Store
 
 ROOT = "/"
@@ -83,6 +96,67 @@ def _parent(path: str) -> str:
     return head or ROOT
 
 
+def shard_prefix(path: str) -> str:
+    """The sharding key: the path's top-level directory component.
+
+    A whole top-level subtree lives on one shard, so parent-existence
+    checks and directory listings stay shard-local; only the root
+    listing fans out across shards.
+    """
+    if path == ROOT:
+        return ROOT
+    return path.strip("/").split("/", 1)[0]
+
+
+def _prefix_point(prefix: str) -> int:
+    """Map a shard prefix onto the 128-bit key space the ring hashes."""
+    return int.from_bytes(hashlib.sha1(prefix.encode()).digest()[:16], "big")
+
+
+class NamespaceShardMap:
+    """Authoritative prefix -> shard assignment for one volume.
+
+    A thin wrapper over the incremental :class:`HashRing`: shards are
+    named by their primary's hostid, and every membership change bumps
+    ``epoch``.  The epoch travels inside ``EWRONGSHARD`` redirects so
+    stale client route caches self-invalidate instead of looping.
+    """
+
+    def __init__(self, shards, vnodes: int = 16):
+        self.ring = HashRing(vnodes)
+        self.shards: List[str] = list(shards)
+        self.epoch = 1
+
+    def owner_of(self, path: str) -> str:
+        return self.ring.home_host(_prefix_point(shard_prefix(path)),
+                                   self.shards)
+
+    # Membership changes build a NEW list: the ring's reconcile has an
+    # identity fast path, so mutating the list it was last shown would
+    # leave the ring stale.
+    def add_shard(self, name: str) -> None:
+        if name not in self.shards:
+            self.shards = self.shards + [name]
+            self.epoch += 1
+
+    def remove_shard(self, name: str) -> None:
+        if name in self.shards:
+            self.shards = [s for s in self.shards if s != name]
+            self.epoch += 1
+
+
+@dataclass
+class _StandbyLink:
+    """One WAL-shipping target.  ``interval`` None = hot standby
+    (every mutation shipped immediately); a float = scheduled bulk
+    batches, the WAN mode used by satellite-tier mirrors."""
+
+    hostid: str
+    interval: Optional[float] = None
+    buffer: List[dict] = field(default_factory=list)
+    shipped_seq: int = 0
+
+
 class NamespaceServer:
     """RPC daemon: directory tree + version arbitration for one volume."""
 
@@ -90,7 +164,8 @@ class NamespaceServer:
         "ns_lookup", "ns_create", "ns_unlink", "ns_mkdir", "ns_rmdir",
         "ns_list", "ns_begin_commit", "ns_complete_commit",
         "ns_abort_commit", "ns_acquire_lease", "ns_release_lease",
-        "ns_update_entry", "ns_mark_milestone",
+        "ns_update_entry", "ns_mark_milestone", "ns_rename", "ns_link",
+        "ns_prepare", "ns_commit", "ns_abort",
     )
 
     def __init__(self, node, volume: str, params: Optional[SorrentoParams] = None):
@@ -102,27 +177,64 @@ class NamespaceServer:
         self.db.put(_dir_key(ROOT), {"ctime": self.sim.now})
         self._grants: Dict[int, _CommitGrant] = {}
         self._leases: Dict[int, _Lease] = {}
+        self._staged: Dict[int, dict] = {}    # txid -> staged cross-shard tx
         self._flush_queue = Store(self.sim)
         self.ops_served = 0
-        self.standby: Optional[str] = None    # hostid of the WAL-shipping
-        #                                       target (replication ext.)
+        self.standby: Optional[str] = None    # first hot-standby hostid
+        self.standbys: List[_StandbyLink] = []
+        self.shard_map: Optional[NamespaceShardMap] = None
+        self.shard_name: Optional[str] = None
         self._ship_seq = 0
+        self.applied_seq = 0                  # standby side: last seq applied
+        self.shipped_batches = 0
+        self.shipped_bytes = 0
         self.rpc = node.runtime
         self.rpc.configure(policy=self.params.rpc_policy())
         for svc in self.SERVICES:
             self.rpc.register(svc, getattr(self, "_h_" + svc[3:]),
                               replace=True)
         self.rpc.register("nsr_apply", self._h_nsr_apply, replace=True)
+        self.rpc.register("nsr_apply_batch", self._h_nsr_apply_batch,
+                          replace=True)
         node.spawn(self._flusher_loop(), name="ns-wal-flush")
         node.spawn(self._checkpoint_loop(), name="ns-checkpoint")
 
+    # --------------------------------------------------------- sharding
+    def configure_shard(self, shard_map: NamespaceShardMap,
+                        shard_name: str) -> None:
+        """Make this server one shard of a partitioned namespace.  It
+        answers only for paths the map assigns to ``shard_name``;
+        anything else gets an ``EWRONGSHARD`` redirect."""
+        self.shard_map = shard_map
+        self.shard_name = shard_name
+
+    def _check_owner(self, path: str) -> None:
+        if self.shard_map is None or path == ROOT:
+            return
+        owner = self.shard_map.owner_of(path)
+        if owner != self.shard_name:
+            raise NamespaceError(
+                f"EWRONGSHARD {path} owner={owner} "
+                f"epoch={self.shard_map.epoch}")
+
     # ------------------------------------------------- replication (ext.)
-    def attach_standby(self, hostid: str) -> None:
-        """Ship every mutation batch to a hot-standby namespace server —
-        the replication extension Section 3.1 points at.  The standby
-        serves lookups/commits if the primary dies (volatile grant/lease
-        state is lost; grants simply expire)."""
-        self.standby = hostid
+    def attach_standby(self, hostid: str,
+                       interval: Optional[float] = None) -> None:
+        """Ship every mutation to a standby namespace server — the
+        replication extension Section 3.1 points at.  Without
+        ``interval`` this is the hot-standby mode: each mutation is
+        shipped as it commits, and the standby serves lookups/commits if
+        the primary dies (volatile grant/lease state is lost; grants
+        simply expire).  With ``interval`` mutations are buffered and
+        shipped as one bulk ``nsr_apply_batch`` per period — the
+        scheduled WAN-replication mode satellite-tier mirrors use."""
+        link = _StandbyLink(hostid, interval)
+        self.standbys.append(link)
+        if interval is None and self.standby is None:
+            self.standby = hostid
+        if interval is not None:
+            self.node.spawn(self._batch_ship_loop(link),
+                            name=f"ns-ship-{hostid}")
 
     def _put(self, key, value) -> None:
         self.db.put(key, value)
@@ -133,12 +245,45 @@ class NamespaceServer:
         self._ship("del", key, None)
 
     def _ship(self, op: str, key, value) -> None:
-        if self.standby is None:
+        if not self.standbys:
             return
         self._ship_seq += 1
-        self.rpc.send(self.standby, "nsr_apply", {
-            "seq": self._ship_seq, "op": op, "key": key, "value": value,
-        }, size=96 + (len(key) if isinstance(key, str) else 16))
+        rec = {"seq": self._ship_seq, "op": op, "key": key, "value": value}
+        size = 96 + (len(key) if isinstance(key, str) else 16)
+        for link in self.standbys:
+            if link.interval is None:
+                link.shipped_seq = rec["seq"]
+                self.rpc.send(link.hostid, "nsr_apply", rec, size=size)
+            else:
+                link.buffer.append(rec)
+
+    def _batch_ship_loop(self, link: _StandbyLink):
+        # Scheduled batches are *called*, not fire-and-forgotten: a WAN
+        # partition must not silently lose a shipment, so on timeout the
+        # batch goes back to the head of the buffer and the next tick
+        # retries (the mirror converges once the link heals).
+        while True:
+            yield self.sim.timeout(link.interval)
+            if not link.buffer:
+                continue
+            batch, link.buffer = link.buffer, []
+            size = 96 + sum(
+                64 + (len(r["key"]) if isinstance(r["key"], str) else 16)
+                for r in batch)
+            try:
+                yield from self.rpc.call(link.hostid, "nsr_apply_batch",
+                                         batch, size=size)
+            except (RpcTimeout, RpcRemoteError):
+                link.buffer = batch + link.buffer
+                continue
+            link.shipped_seq = batch[-1]["seq"]
+            self.shipped_batches += 1
+            self.shipped_bytes += size
+
+    def replication_lag(self) -> Dict[str, int]:
+        """Mutations not yet shipped, per standby link."""
+        return {link.hostid: self._ship_seq - link.shipped_seq
+                for link in self.standbys}
 
     def _h_nsr_apply(self, rec: dict, src: str) -> None:
         """Standby side: apply one shipped mutation."""
@@ -148,6 +293,12 @@ class NamespaceServer:
                         dict(value) if isinstance(value, dict) else value)
         else:
             self.db.delete(rec["key"])
+        self.applied_seq = max(self.applied_seq, rec["seq"])
+
+    def _h_nsr_apply_batch(self, batch: List[dict], src: str) -> None:
+        """Mirror side: apply one scheduled bulk shipment."""
+        for rec in batch:
+            self._h_nsr_apply(rec, src)
 
     # ------------------------------------------------------------------
     # Durability plumbing: mutations wait for the next WAL group flush,
@@ -185,6 +336,7 @@ class NamespaceServer:
     # ------------------------------------------------------- handlers
     def _h_lookup(self, path: str, src: str):
         yield from self._charge_cpu()
+        self._check_owner(path)
         entry = self.db.get(_file_key(path))
         if entry is None:
             raise NamespaceError(f"ENOENT {path}")
@@ -194,6 +346,7 @@ class NamespaceServer:
         """Create a file entry; the client supplies the FileID it minted."""
         yield from self._charge_cpu()
         path = req["path"]
+        self._check_owner(path)
         if self.db.get(_file_key(path)) is not None:
             raise NamespaceError(f"EEXIST {path}")
         if self.db.get(_dir_key(_parent(path))) is None:
@@ -219,6 +372,7 @@ class NamespaceServer:
         """Mutate policy fields (degree/alpha/placement) of an entry."""
         yield from self._charge_cpu()
         path = req["path"]
+        self._check_owner(path)
         entry = self.db.get(_file_key(path))
         if entry is None:
             raise NamespaceError(f"ENOENT {path}")
@@ -231,6 +385,7 @@ class NamespaceServer:
 
     def _h_unlink(self, path: str, src: str):
         yield from self._charge_cpu()
+        self._check_owner(path)
         entry = self.db.get(_file_key(path))
         if entry is None:
             raise NamespaceError(f"ENOENT {path}")
@@ -242,6 +397,7 @@ class NamespaceServer:
 
     def _h_mkdir(self, path: str, src: str):
         yield from self._charge_cpu()
+        self._check_owner(path)
         if self.db.get(_dir_key(path)) is not None:
             raise NamespaceError(f"EEXIST {path}")
         if self.db.get(_dir_key(_parent(path))) is None:
@@ -254,6 +410,7 @@ class NamespaceServer:
         yield from self._charge_cpu()
         if path == ROOT:
             raise NamespaceError("cannot remove /")
+        self._check_owner(path)
         if self.db.get(_dir_key(path)) is None:
             raise NamespaceError(f"ENOENT {path}")
         if self._list_children(path):
@@ -264,9 +421,19 @@ class NamespaceServer:
 
     def _h_list(self, path: str, src: str):
         yield from self._charge_cpu()
+        self._check_owner(path)
         if self.db.get(_dir_key(path)) is None:
             raise NamespaceError(f"ENOENT {path}")
         names = self._list_children(path)
+        if self.shard_map is not None and path == "/":
+            # Root listings legitimately span every shard, so they can
+            # never redirect — piggyback the shard-map snapshot instead,
+            # letting a stale client discover shards it has never been
+            # redirected to and re-fan before merging.
+            reply = {"names": names, "epoch": self.shard_map.epoch,
+                     "shards": list(self.shard_map.shards)}
+            return reply, (64 + 16 * len(names)
+                           + 16 * len(self.shard_map.shards))
         return names, 64 + 16 * len(names)
 
     def _list_children(self, path: str) -> List[str]:
@@ -279,6 +446,93 @@ class NamespaceServer:
                     out.append(rest + ("/" if kind == "d:" else ""))
         return sorted(out)
 
+    # ------------------------------------------------------ rename / link
+    def _h_rename(self, req: dict, src: str):
+        """Move a file entry within one shard (cross-shard renames go
+        through the staged prepare/commit handlers instead)."""
+        yield from self._charge_cpu()
+        path, dst = req["path"], req["dst"]
+        self._check_owner(path)
+        self._check_owner(dst)
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        if self.db.get(_file_key(dst)) is not None:
+            raise NamespaceError(f"EEXIST {dst}")
+        if self.db.get(_dir_key(_parent(dst))) is None:
+            raise NamespaceError(f"ENOENT parent of {dst}")
+        moved = dict(entry, path=dst)
+        self._delete(_file_key(path))
+        self._put(_file_key(dst), moved)
+        yield from self._durable()
+        return dict(moved), 128
+
+    def _h_link(self, req: dict, src: str):
+        """Alias a file entry under a second path (same FileID, so both
+        names resolve to the same index segment and data)."""
+        yield from self._charge_cpu()
+        path, dst = req["path"], req["dst"]
+        self._check_owner(path)
+        self._check_owner(dst)
+        entry = self.db.get(_file_key(path))
+        if entry is None:
+            raise NamespaceError(f"ENOENT {path}")
+        if self.db.get(_file_key(dst)) is not None:
+            raise NamespaceError(f"EEXIST {dst}")
+        if self.db.get(_dir_key(_parent(dst))) is None:
+            raise NamespaceError(f"ENOENT parent of {dst}")
+        alias = dict(entry, path=dst)
+        self._put(_file_key(dst), alias)
+        yield from self._durable()
+        return dict(alias), 128
+
+    # ------------------------------------- cross-shard transactions (2PC)
+    # Generic staged-mutation participant driven by two_phase_commit()
+    # with services=("ns_prepare", "ns_commit", "ns_abort").  Phase one
+    # validates preconditions and stages the ops under the txid; commit
+    # applies them through the normal WAL/standby path.
+    def _h_prepare(self, req: dict, src: str):
+        yield from self._charge_cpu()
+        txid = req["txid"]
+        keys = {op["key"] for op in req["ops"]}
+        for tx in self._staged.values():
+            if tx["expires_at"] > self.sim.now \
+                    and not keys.isdisjoint(tx["keys"]):
+                return False, 32
+        for check in req.get("checks", ()):
+            value = self.db.get(check["key"])
+            if check["must"] == "absent" and value is not None:
+                return False, 32
+            if check["must"] == "present" and value is None:
+                return False, 32
+        self._staged[txid] = {
+            "ops": [dict(op) for op in req["ops"]],
+            "keys": keys,
+            "expires_at": self.sim.now + self.params.commit_grant_ttl,
+        }
+        yield from self._durable()    # the prepare record hits the WAL
+        return True, 32
+
+    def _h_commit(self, req: dict, src: str):
+        yield from self._charge_cpu()
+        tx = self._staged.pop(req["txid"], None)
+        if tx is None:
+            return False, 32
+        for op in tx["ops"]:
+            if op["op"] == "put":
+                value = op["value"]
+                self._put(op["key"],
+                          dict(value) if isinstance(value, dict) else value)
+            else:
+                self._delete(op["key"])
+        yield from self._durable()
+        return True, 32
+
+    def _h_abort(self, req: dict, src: str):
+        yield from self._charge_cpu()
+        self._staged.pop(req["txid"], None)
+        return True, 32
+
     # ------------------------------------------------ version arbitration
     def _h_begin_commit(self, req: dict, src: str):
         """Grant the right to commit version base+1 of a file.
@@ -289,6 +543,7 @@ class NamespaceServer:
         """
         yield from self._charge_cpu()
         path, base = req["path"], req["base_version"]
+        self._check_owner(path)
         entry = self.db.get(_file_key(path))
         if entry is None:
             raise NamespaceError(f"ENOENT {path}")
@@ -311,6 +566,7 @@ class NamespaceServer:
     def _h_complete_commit(self, req: dict, src: str):
         yield from self._charge_cpu()
         path, new_version = req["path"], req["new_version"]
+        self._check_owner(path)
         entry = self.db.get(_file_key(path))
         if entry is None:
             raise NamespaceError(f"ENOENT {path}")
@@ -344,6 +600,7 @@ class NamespaceServer:
         (the Elephant-inspired extension sketched in Section 3.5)."""
         yield from self._charge_cpu()
         path = req["path"]
+        self._check_owner(path)
         entry = self.db.get(_file_key(path))
         if entry is None:
             raise NamespaceError(f"ENOENT {path}")
@@ -363,6 +620,7 @@ class NamespaceServer:
     def _h_acquire_lease(self, req: dict, src: str):
         """Write-lock lease so cooperating processes avoid commit conflicts."""
         yield from self._charge_cpu()
+        self._check_owner(req["path"])
         entry = self.db.get(_file_key(req["path"]))
         if entry is None:
             raise NamespaceError(f"ENOENT {req['path']}")
@@ -385,10 +643,11 @@ class NamespaceServer:
 
     # ------------------------------------------------------------ recovery
     def crash(self) -> None:
-        """Lose volatile state (grants, leases, DB cache)."""
+        """Lose volatile state (grants, leases, staged txns, DB cache)."""
         self.db.crash()
         self._grants.clear()
         self._leases.clear()
+        self._staged.clear()
 
     def recover(self) -> int:
         return self.db.recover()

@@ -93,6 +93,15 @@ class SorrentoParams:
     #                                          per owner instead of one RPC
     #                                          per layout piece
 
+    # --- namespace sharding (routed metadata API) ---
+    ns_shard_vnodes: int = 16                # vnodes/shard on the prefix ring
+    #                                          (client snapshot and the
+    #                                          authoritative map must agree)
+    ns_route_cache_ttl: float = 30.0         # client prefix->shard routes,
+    ns_route_cache_capacity: int = 4096      # keyed by (epoch, prefix)
+    ns_redirect_limit: int = 4               # EWRONGSHARD hops before the
+    #                                          error surfaces to the app
+
     # --- provider storage engine (page cache + disk scheduler) ---
     cache_bytes: int = 0                     # per-provider page-cache size;
     #                                          0 disables the engine entirely

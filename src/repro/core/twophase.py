@@ -7,7 +7,9 @@ operation."
 
 The coordinator is the committing client; participants are the storage
 providers holding the shadow segments, exposing ``seg_prepare`` /
-``seg_commit`` / ``seg_abort`` services.
+``seg_commit`` / ``seg_abort`` services.  The coordinator is generic in
+its service triple: cross-shard namespace transactions reuse it with
+``services=("ns_prepare", "ns_commit", "ns_abort")``.
 """
 
 from __future__ import annotations
@@ -22,24 +24,30 @@ class CommitAborted(Exception):
     """A participant voted no (or died) during phase 1; all were aborted."""
 
 
+SEG_SERVICES = ("seg_prepare", "seg_commit", "seg_abort")
+
+
 def two_phase_commit(rpc, participants: List[Tuple[str, Any]],
-                     req_size: int = 96, timeout: Optional[float] = None):
+                     req_size: int = 96, timeout: Optional[float] = None,
+                     services: Tuple[str, str, str] = SEG_SERVICES):
     """Generator: run 2PC over ``participants``: (hostid, payload) pairs.
 
     ``rpc`` is anything with an Endpoint-shaped ``call``/``sim`` — normally
     a :class:`repro.runtime.ServiceRuntime`, whose policy supplies the RPC
-    deadline when ``timeout`` is None.
+    deadline when ``timeout`` is None.  ``services`` names the
+    (prepare, commit, abort) triple the participants expose.
 
-    Phase 1 sends ``seg_prepare`` to every participant in parallel; if any
-    vote is negative or unreachable, ``seg_abort`` goes to all and
-    :class:`CommitAborted` is raised.  Phase 2 sends ``seg_commit``.
+    Phase 1 sends the prepare service to every participant in parallel;
+    if any vote is negative or unreachable, the abort service goes to
+    all and :class:`CommitAborted` is raised.  Phase 2 sends commit.
     """
     sim = rpc.sim
+    prepare_svc, commit_svc, abort_svc = services
     kw = {} if timeout is None else {"timeout": timeout}
 
     def prepare_one(host, payload):
         try:
-            vote = yield from rpc.call(host, "seg_prepare", payload,
+            vote = yield from rpc.call(host, prepare_svc, payload,
                                        size=req_size, **kw)
             return bool(vote)
         except (RpcTimeout, RpcRemoteError):
@@ -49,11 +57,11 @@ def two_phase_commit(rpc, participants: List[Tuple[str, Any]],
         prepare_one(host, payload) for host, payload in participants
     ])
     if not all(votes):
-        yield from _broadcast(rpc, "seg_abort", participants, req_size, kw)
+        yield from _broadcast(rpc, abort_svc, participants, req_size, kw)
         raise CommitAborted(
             f"{votes.count(False)}/{len(votes)} participants refused"
         )
-    yield from _broadcast(rpc, "seg_commit", participants, req_size, kw)
+    yield from _broadcast(rpc, commit_svc, participants, req_size, kw)
     return len(participants)
 
 

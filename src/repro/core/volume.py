@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.cluster import ClusterSpec, Node, NodeSpec
 from repro.core.client import SorrentoClient
 from repro.core.membership import MembershipManager
-from repro.core.namespace import NamespaceServer
+from repro.core.namespace import NamespaceServer, NamespaceShardMap
 from repro.core.params import SorrentoParams
 from repro.core.provider import StorageProvider
 from repro.network import Fabric
@@ -45,6 +45,17 @@ class SorrentoConfig:
     #                                      owning a shard of the top-level
     #                                      directories (§3.1's other
     #                                      scaling approach)
+    namespace_shards: int = 1           # >1: shard the namespace over the
+    #                                      first N storage hosts (the routed
+    #                                      metadata API; default off so the
+    #                                      recorded goldens stay identical)
+    ns_shards_on: Optional[List[str]] = None  # explicit shard primary hosts
+    #                                      (overrides namespace_shards)
+    ns_shard_standbys_on: Optional[List[str]] = None  # per-shard standby
+    #                                      hosts, parallel to the shard list
+    ns_ship_interval: Optional[float] = None  # shard-standby WAL shipping:
+    #                                      None = hot (per-mutation),
+    #                                      a float = scheduled bulk batches
     partition: Optional["PartitionMap"] = None  # conservative-parallel
     #                                      model cut (repro.sim.parallel):
     #                                      installs the store-and-forward
@@ -109,11 +120,24 @@ class SorrentoDeployment:
                     announce=False,
                 )
 
+        # Sharded namespace: resolve the shard primary list first, since
+        # the default ns host becomes the first shard's primary.
+        shard_hosts = list(self.config.ns_shards_on or [])
+        if not shard_hosts and self.config.namespace_shards > 1:
+            shard_hosts = [s.name for s in
+                           storage_specs[:self.config.namespace_shards]]
+
         # Namespace server: by default the first non-exporting node with a
         # disk preference, else the first storage node.
         ns_host = self.config.ns_on
         if ns_host is None:
-            ns_host = storage_specs[0].name if storage_specs else spec.nodes[0].name
+            ns_host = (shard_hosts[0] if shard_hosts
+                       else storage_specs[0].name if storage_specs
+                       else spec.nodes[0].name)
+        if shard_hosts and ns_host not in shard_hosts:
+            raise ValueError(
+                "ns_on must name one of the shard hosts when the "
+                "namespace is sharded")
         ns_node = self.nodes[ns_host]
         if ns_node.fs is None:
             raise ValueError(
@@ -153,6 +177,50 @@ class SorrentoDeployment:
             self.ns.attach_standby(self.config.ns_standby_on)
             self.ns_hosts.append(self.config.ns_standby_on)
 
+        # Sharded namespace: one server per shard primary (plus optional
+        # per-shard standbys), all sharing one authoritative shard map.
+        self.ns_shard_map: Optional[NamespaceShardMap] = None
+        self.ns_shard_servers: Dict[str, NamespaceServer] = {}
+        self.ns_shard_standby_servers: Dict[str, NamespaceServer] = {}
+        self.ns_shards: Optional[Dict[str, List[str]]] = None
+        self.ns_mirrors: Dict[str, NamespaceServer] = {}
+        if shard_hosts:
+            if self.ns_partition_hosts or self.ns_standby is not None:
+                raise ValueError(
+                    "namespace sharding replaces the legacy partitioning/"
+                    "standby deployments; pick one"
+                )
+            self.ns_shard_map = NamespaceShardMap(
+                shard_hosts, vnodes=self.params.ns_shard_vnodes)
+            standbys = list(self.config.ns_shard_standbys_on or [])
+            self.ns_shards = {}
+            for i, host in enumerate(shard_hosts):
+                if host == ns_host:
+                    server = self.ns
+                else:
+                    snode = self.nodes[host]
+                    if snode.fs is None:
+                        raise ValueError(
+                            f"namespace shard host {host} needs a disk")
+                    server = NamespaceServer(
+                        snode, self.config.volume, self.params)
+                server.configure_shard(self.ns_shard_map, host)
+                self.ns_shard_servers[host] = server
+                self.ns_shards[host] = [host]
+                if i < len(standbys):
+                    sb_host = standbys[i]
+                    sb_node = self.nodes[sb_host]
+                    if sb_node.fs is None:
+                        raise ValueError(
+                            f"namespace shard standby {sb_host} needs a disk")
+                    sb = NamespaceServer(
+                        sb_node, self.config.volume, self.params)
+                    sb.configure_shard(self.ns_shard_map, host)
+                    server.attach_standby(
+                        sb_host, interval=self.config.ns_ship_interval)
+                    self.ns_shard_standby_servers[host] = sb
+                    self.ns_shards[host].append(sb_host)
+
         # All exporting hosts, dormant or not: segment homes and preload
         # placement are functions of the *full* member list, which must be
         # identical in every partition worker.
@@ -180,6 +248,9 @@ class SorrentoDeployment:
             rng=self.rngs.py(f"client:{hostid}:{len(self.clients)}"),
             membership=self.memberships.get(hostid),
             ns_partitions=self.ns_partition_hosts,
+            ns_shards=self.ns_shards,
+            ns_shard_epoch=(self.ns_shard_map.epoch
+                            if self.ns_shard_map is not None else 1),
         )
         self.clients.append(client)
         return client
@@ -213,6 +284,68 @@ class SorrentoDeployment:
     def restart_provider(self, hostid: str) -> None:
         """Bring a crashed provider back (location table rebuilt)."""
         self.providers[hostid].restart()
+
+    # ------------------------------------------------- namespace resharding
+    def add_namespace_shard(self, hostid: str) -> NamespaceServer:
+        """Split: add a shard at runtime.  The shard map's epoch
+        advances, affected prefixes' entries migrate between shard DBs
+        (state surgery, not simulated I/O), and clients with stale
+        routes repair themselves through ``EWRONGSHARD`` redirects."""
+        if self.ns_shard_map is None:
+            raise ValueError("namespace sharding is not enabled")
+        server = self.ns_shard_servers.get(hostid)
+        if server is None:
+            node = self.nodes[hostid]
+            if node.fs is None:
+                raise ValueError(
+                    f"namespace shard host {hostid} needs a disk")
+            server = NamespaceServer(node, self.config.volume, self.params)
+            server.configure_shard(self.ns_shard_map, hostid)
+            self.ns_shard_servers[hostid] = server
+            self.ns_shards[hostid] = [hostid]
+        self.ns_shard_map.add_shard(hostid)
+        self._migrate_shard_entries()
+        return server
+
+    def remove_namespace_shard(self, hostid: str) -> None:
+        """Merge: drain a shard out of the map.  Its server stays up to
+        redirect stragglers; its entries move to their new owners."""
+        if self.ns_shard_map is None:
+            raise ValueError("namespace sharding is not enabled")
+        self.ns_shard_map.remove_shard(hostid)
+        self._migrate_shard_entries()
+
+    def _migrate_shard_entries(self) -> None:
+        moves = []
+        for host, server in self.ns_shard_servers.items():
+            for key, value in list(server.db.items()):
+                path = key[2:]
+                if path == "/":
+                    continue  # the root dir lives on every shard
+                owner = self.ns_shard_map.owner_of(path)
+                if owner != host:
+                    moves.append((server, owner, key, value))
+        for server, owner, key, value in moves:
+            server.db.delete(key)
+            self.ns_shard_servers[owner].db.put(key, value)
+
+    def add_namespace_mirror(self, hostid: str,
+                             interval: float) -> NamespaceServer:
+        """A full-tree namespace mirror fed by scheduled bulk WAL
+        batches from every shard (or the single primary) — the
+        satellite-tier metadata replica of the tiered topology.  The
+        mirror is not a shard: it answers for any path, serving the
+        (bounded-staleness) view the last batch shipped."""
+        node = self.nodes[hostid]
+        if node.fs is None:
+            raise ValueError(f"namespace mirror host {hostid} needs a disk")
+        mirror = NamespaceServer(node, self.config.volume, self.params)
+        sources = (list(self.ns_shard_servers.values())
+                   if self.ns_shard_servers else [self.ns])
+        for server in sources:
+            server.attach_standby(hostid, interval=interval)
+        self.ns_mirrors[hostid] = mirror
+        return mirror
 
     def add_provider(self, nspec: NodeSpec) -> StorageProvider:
         """Attach a brand-new storage node at runtime (Section 2.2)."""
@@ -301,7 +434,12 @@ class SorrentoDeployment:
                           ctime=self.sim.now, mtime=self.sim.now,
                           degree=degree, alpha=alpha,
                           placement=placement).to_dict()
-        if not self.ns.node.dormant:
+        if self.ns_shard_map is not None:
+            owner = self.ns_shard_map.owner_of(path)
+            shard = self.ns_shard_servers[owner]
+            if not shard.node.dormant:
+                shard.db.put(_file_key(path), entry)
+        elif not self.ns.node.dormant:
             self.ns.db.put(_file_key(path), entry)
         return entry
 

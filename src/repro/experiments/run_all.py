@@ -44,6 +44,10 @@ def sections(quick: bool = False):
          {"scale": 0.012 if quick else 0.02,
           "duration": 1200.0 if quick else 2400.0}),
         ("Figure 15", "fig15_locality", {"scale": 0.02 if quick else 0.03}),
+        ("Tiered", "tiered",
+         {"duration": 60.0 if quick else 90.0}),
+        ("Tiered (WAN partition)", "tiered",
+         {"variant": "wanpart", "duration": 90.0}),
         ("Scale", "scale", {"quick": quick}),
     ]
 

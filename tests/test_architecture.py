@@ -64,6 +64,7 @@ def test_layering_matches_figure2():
         "repro.core.provider": 3,
         "repro.core.client": 4,
         "repro.core.client.handle": 4,
+        "repro.core.client.router": 4,
         "repro.core.client.namespace_ops": 4,
         "repro.core.client.placement": 4,
         "repro.core.client.io": 4,
@@ -236,6 +237,68 @@ def test_segment_store_state_is_scanned_only_inside_the_store():
                 offenders.append(f"{mod}:{node.lineno}")
     assert offenders == [], (
         "SegmentStore._segs accessed outside repro.core.segment: "
+        + ", ".join(offenders)
+    )
+
+
+def test_namespace_endpoints_only_behind_the_router():
+    """The routed metadata API is the only namespace front door: outside
+    the router/ops layer (``repro.core.client.router`` /
+    ``repro.core.client.namespace_ops``) and the server's own WAL
+    shipping (``repro.core.namespace``), nothing may issue ``ns_*`` /
+    ``nsr_*`` RPCs directly — a raw call would bypass shard routing,
+    redirect handling, and failover."""
+    allowed = {
+        "repro.core.namespace",
+        "repro.core.client.router",
+        "repro.core.client.namespace_ops",
+    }
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        mod = ".".join(path.relative_to(SRC.parent).with_suffix("").parts)
+        if mod in allowed:
+            continue
+        for node in ast.walk(ast.parse(path.read_text())):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("call", "send")):
+                continue
+            for arg in node.args[:2]:
+                if (isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and (arg.value.startswith("ns_")
+                             or arg.value.startswith("nsr_"))):
+                    offenders.append(f"{mod}:{node.lineno} ({arg.value})")
+    assert offenders == [], (
+        "raw namespace RPCs outside the router: " + ", ".join(offenders)
+    )
+
+
+def test_namespace_servers_are_built_only_by_the_deployment():
+    """Experiments, baselines, and tests get their namespace service
+    from the deployment config (``namespace_shards`` /
+    ``ns_partitions_on`` / ``ns_standby_on``) and the ``connect()`` /
+    ``client_on()`` front door — never by hand-constructing a
+    ``NamespaceServer``.  Allowed: the deployment itself and the
+    server's own module; ``tests/test_namespace.py`` unit-tests the
+    server class directly."""
+    allowed_modules = {"repro.core.volume", "repro.core.namespace"}
+    allowed_tests = {"test_namespace.py"}
+    offenders = []
+    tests_dir = pathlib.Path(__file__).resolve().parent
+    scan = [(p, ".".join(p.relative_to(SRC.parent).with_suffix("").parts))
+            for p in SRC.rglob("*.py")]
+    scan += [(p, p.name) for p in tests_dir.glob("*.py")]
+    for path, mod in scan:
+        if mod in allowed_modules or mod in allowed_tests:
+            continue
+        for node in ast.walk(ast.parse(path.read_text())):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "NamespaceServer"):
+                offenders.append(f"{mod}:{node.lineno}")
+    assert offenders == [], (
+        "NamespaceServer constructed outside the deployment: "
         + ", ".join(offenders)
     )
 

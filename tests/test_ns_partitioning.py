@@ -4,35 +4,31 @@ import pytest
 
 from repro.cluster import small_cluster
 from repro.core import SorrentoConfig, SorrentoDeployment
-from repro.core.client import SorrentoClient, SorrentoError
-from repro.core.namespace import NamespaceServer
+from repro.core.client import SorrentoError
 from repro.core.params import SorrentoParams
 
 MB = 1 << 20
 
 
 def deploy(seed=121):
-    """Two partitioned namespace servers on the first two storage nodes."""
+    """Two partitioned namespace servers on the first two storage nodes.
+
+    Config-built: the deployment is the only place namespace servers are
+    constructed (the architecture lint bans hand-rolled ones here).
+    """
     spec = small_cluster(4, n_compute=2, capacity_per_node=8 << 30)
+    hosts = [spec.storage_nodes[0].name, spec.storage_nodes[1].name]
     dep = SorrentoDeployment(
-        spec, SorrentoConfig(params=SorrentoParams(), seed=seed),
+        spec, SorrentoConfig(params=SorrentoParams(), seed=seed,
+                             ns_partitions_on=hosts),
     )
-    # Second namespace server on another storage node.
-    ns2_host = spec.storage_nodes[1].name
-    dep.ns2 = NamespaceServer(dep.nodes[ns2_host], "vol0", dep.params)
-    dep.ns_partition_hosts = [dep.ns_host, ns2_host]
+    dep.ns2 = dep.ns_partition_servers[hosts[1]]
     dep.warm_up()
     return dep
 
 
 def part_client(dep, hostid="c00"):
-    client = SorrentoClient(
-        dep.nodes[hostid], dep.ns_host, dep.params,
-        rng=dep.rngs.py(f"pclient:{hostid}"),
-        membership=dep.memberships.get(hostid),
-        ns_partitions=dep.ns_partition_hosts,
-    )
-    return client
+    return dep.client_on(hostid)
 
 
 def test_directories_shard_across_servers():
