@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.bench [--smoke] [--label LABEL] [--out-dir DIR]
-                          [--only kernel|macro] [--repeat N]
+                          [--only kernel|macro] [--repeat N] [--repeats N]
 
 Each run appends one labelled entry per suite; once a file holds two or
 more comparable entries, a ``headline`` block reports the latest entry's
@@ -56,6 +56,10 @@ def main(argv=None) -> int:
                         default=None)
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per benchmark (best wall kept)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="scale suite only: repetitions per point; "
+                             "the median-wall run is recorded along with "
+                             "the wall distribution and spread")
     args = parser.parse_args(argv)
 
     out = Path(args.out_dir)
@@ -75,7 +79,8 @@ def main(argv=None) -> int:
         if "headline" in doc:
             print(json.dumps(doc["headline"], indent=2), file=sys.stderr)
     if args.only in (None, "scale"):
-        results = run_scale_suite(smoke=args.smoke, repeat=args.repeat)
+        results = run_scale_suite(smoke=args.smoke, repeat=args.repeat,
+                                  repeats=args.repeats)
         doc = append_entry(out / "BENCH_scale.json",
                            bench_entry(args.label, results, args.smoke),
                            benchmark="scale")

@@ -116,7 +116,7 @@ def _headline(first: Dict, last: Dict) -> Dict:
         cur = last["results"].get(name)
         if not cur:
             continue
-        out[name] = {
+        row = {
             "wall_speedup_x": round(base["wall_s"] / max(cur["wall_s"], 1e-9), 2),
             "wall_reduction_pct": round(
                 100.0 * (1.0 - cur["wall_s"] / max(base["wall_s"], 1e-9)), 1),
@@ -127,9 +127,14 @@ def _headline(first: Dict, last: Dict) -> Dict:
                 cur.get("ops_per_s", 0.0) / max(base.get("ops_per_s", 0.0), 1e-9), 2),
             "events_per_s_x": round(
                 cur["events_per_s"] / max(base["events_per_s"], 1e-9), 2),
-            "events_removed_pct": round(
-                100.0 * (1.0 - cur.get("events", 0) / max(base.get("events", 0), 1)), 1),
         }
+        # Micros that never touch the simulator (e.g. ring_churn) have no
+        # event counts; a 0/0 ratio would report a bogus 100.0 removal.
+        base_events = base.get("events", 0)
+        if base_events:
+            row["events_removed_pct"] = round(
+                100.0 * (1.0 - cur.get("events", 0) / base_events), 1)
+        out[name] = row
     return out
 
 

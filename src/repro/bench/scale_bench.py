@@ -25,10 +25,11 @@ from __future__ import annotations
 import bisect
 import json
 import random
+import statistics
 import subprocess
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.bench.harness import run_suite
 from repro.core.hashing import HashRing, _point
@@ -82,9 +83,11 @@ def _run_point_subprocess(n_providers: int, n_files: int, n_sessions: int,
         # Parallel-kernel diagnostics recorded alongside (windows/barrier
         # decompose where the wall went; busy walls bound the speedup a
         # multi-core box could realize).
-        for key in ("workers", "backend", "windows", "records_shipped",
-                    "barrier_wall_s", "busy_wall_s", "worker_events",
-                    "lookahead_us", "digest"):
+        for key in ("workers", "backend", "windows", "grants",
+                    "windows_per_grant", "fallback_rounds",
+                    "records_shipped", "shm_batches", "shm_bytes",
+                    "shm_fallbacks", "barrier_wall_s", "busy_wall_s",
+                    "worker_events", "lookahead_us", "digest"):
             if key in row:
                 out[key] = row[key]
     return out
@@ -167,7 +170,33 @@ def ring_churn(n_hosts: int = 150, vnodes: int = 32, n_events: int = 1500,
 
 
 # ------------------------------------------------------------------ suite
-def run_scale_suite(smoke: bool = False, repeat: int = 1) -> Dict[str, Dict]:
+def _median_run(fn: Callable[[], Dict], repeats: int) -> Dict:
+    """Run ``fn`` ``repeats`` times and record the median-wall run.
+
+    Scale points are seconds-to-minutes long, so the harness-wide
+    best-of-``repeat`` policy (tuned for microbenchmarks) both wastes
+    budget and reports an unrepresentatively lucky run.  Here the row
+    whose wall is nearest the median is recorded — keeping every other
+    column (events, RSS, digests) consistent with the recorded wall —
+    and the full wall distribution rides along so a headline reader can
+    tell signal from shared-box noise.
+    """
+    runs = [fn() for _ in range(max(1, repeats))]
+    if len(runs) == 1:
+        return runs[0]
+    walls = sorted(r["wall_s"] for r in runs)
+    med = statistics.median(walls)
+    pick = dict(min(runs, key=lambda r: abs(r["wall_s"] - med)))
+    pick["repeats"] = len(runs)
+    pick["wall_s_runs"] = [round(w, 4) for w in walls]
+    pick["wall_s_median"] = round(med, 4)
+    pick["wall_s_spread_pct"] = round(
+        100.0 * (walls[-1] - walls[0]) / max(walls[0], 1e-9), 1)
+    return pick
+
+
+def run_scale_suite(smoke: bool = False, repeat: int = 1,
+                    repeats: int = 1) -> Dict[str, Dict]:
     points = QUICK_POINTS if smoke else SCALE_POINTS
     benches = {}
     for n_providers, n_files, n_sessions, duration in points:
@@ -196,4 +225,7 @@ def run_scale_suite(smoke: bool = False, repeat: int = 1) -> Dict[str, Dict]:
             lambda n=n, f=f, s=s, d=d:
             _run_point_subprocess(n, f, s, d, workers=4))
         benches["ring_churn"] = ring_churn
+    if repeats > 1:
+        benches = {name: (lambda f=fn: _median_run(f, repeats))
+                   for name, fn in benches.items()}
     return run_suite(benches, repeat=repeat)

@@ -72,6 +72,19 @@ class RangeMap:
         self._covered += added
         return added
 
+    def fill(self, end: int, value: Any) -> int:
+        """Map [0, end) to ``value`` in one shot — the bulk-preload fast
+        path for a *fresh* map, equivalent to ``set_range(0, end, value)``
+        without the rebuild machinery."""
+        if end <= 0:
+            raise ValueError(f"empty range [0, {end})")
+        if self._spans:
+            return self.set_range(0, end, value)
+        self._starts = [0]
+        self._spans = [(0, end, value)]
+        self._covered = end
+        return end
+
     def clear_range(self, start: int, end: int) -> int:
         """Unmap [start, end); returns the number of bytes uncovered."""
         if start >= end:

@@ -127,6 +127,31 @@ class LocationTable:
             rec.last_refresh = now  # stale announce still proves liveness
         self._rebucket(segid, owner, now)
 
+    def plant(self, segid: int, owner: str, version: int, degree: int,
+              size: int, now: float) -> None:
+        """:meth:`update` for a ``(segid, owner)`` pair this map has
+        never seen — the bulk-preload fast path.  Skips the staleness
+        comparison and the rebucket old-tick probe; the resulting state
+        is identical to ``update()`` of a fresh record."""
+        owners = self._entries.get(segid)
+        if owners is None:
+            owners = self._entries[segid] = {}
+            self._first_seen[segid] = now
+            self._ins_seq[segid] = self._next_seq
+            self._next_seq += 1
+        owners[owner] = OwnerRecord(version, degree, size, now)
+        owned = self._by_owner.get(owner)
+        if owned is None:
+            owned = self._by_owner[owner] = set()
+        owned.add(segid)
+        key = (segid, owner)
+        tick = int(now / self._WHEEL_TICK)
+        bucket = self._rwheel.get(tick)
+        if bucket is None:
+            bucket = self._rwheel[tick] = set()
+        bucket.add(key)
+        self._rtick[key] = tick
+
     def remove(self, segid: int, owner: str) -> None:
         """Drop one owner's record (segment deleted or migrated away)."""
         owners = self._entries.get(segid)

@@ -669,6 +669,31 @@ class SegmentStore:
         self._add(key, seg)
         return seg
 
+    def plant_fresh(self, seg: StoredSegment) -> StoredSegment:
+        """:meth:`plant` for a segid this store has never seen.
+
+        Bulk-preload fast path: the version is the first this store
+        holds of its segid, so every index update is a straight-line
+        insert — no bisect into the version list, no committed-cache
+        comparison.  Falls back to :meth:`plant` when the segid turns
+        out not to be fresh; the resulting state is identical either
+        way (``check_index_invariants`` covers both in the tests).
+        """
+        segid = seg.segid
+        if segid in self._versions:
+            return self.plant(seg)
+        key = (segid, seg.version)
+        self._segs[key] = seg
+        sq = self._next_seq
+        self._seq[key] = sq
+        self._next_seq = sq + 1
+        self._versions[segid] = [seg.version]
+        self._bytes += seg.extents.covered_bytes()
+        if seg.committed:
+            self._latest[segid] = seg
+            self._commit_seq[segid] = sq
+        return seg
+
     def lose_segment(self, segid: int) -> None:
         """Silently forget every version of one segment (failure
         injection: replica loss behind the system's back, no FS I/O)."""

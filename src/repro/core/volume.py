@@ -71,6 +71,12 @@ class SorrentoConfig:
 class SorrentoDeployment:
     """A running Sorrento volume on a simulated cluster."""
 
+    #: :meth:`preload_files` populations at least this large are moved
+    #: into the permanent gc generation after the load (they are cluster
+    #: state that lives until process exit); smaller loads — unit tests,
+    #: fixtures — leave collector state untouched.
+    _FREEZE_THRESHOLD = 50_000
+
     def __init__(self, spec: ClusterSpec, config: Optional[SorrentoConfig] = None):
         self.spec = spec
         self.config = config or SorrentoConfig()
@@ -442,6 +448,232 @@ class SorrentoDeployment:
         elif not self.ns.node.dormant:
             self.ns.db.put(_file_key(path), entry)
         return entry
+
+    def preload_files(self, files, degree: int = 1, alpha: float = 0.5,
+                      placement: str = "load",
+                      on: Optional[List[str]] = None) -> int:
+        """Plant many committed files directly into provider state.
+
+        The bulk fast path for :meth:`preload_file`: the planted
+        structures are identical in shape (segment stores, filesystem
+        accounting, location maps, namespace entries), but id/placement
+        draws come from one shared ``"preload-bulk"`` stream with a
+        fixed draw count per file — so every partition worker replaying
+        the same file list stays stream-aligned regardless of which
+        nodes are local — and the per-entry WAL byte walk is computed
+        once.  ``files`` is an iterable of ``(path, size)``.  Returns
+        the number of files planted.
+
+        The cyclic collector is paused for the duration of the load
+        (and restored after): the planted population is millions of
+        live objects, and letting each generation-0 sweep rescan it
+        turns an O(files) load into an O(files²)-flavored one.  Large
+        populations (≥ ``_FREEZE_THRESHOLD`` files) are then frozen
+        into the permanent generation — they are cluster state that
+        lives until process exit, so exempting them keeps later
+        collections (during the measured traffic window) from
+        rescanning them forever.
+        """
+        import gc
+
+        from repro.core.layout import make_layout
+        from repro.core.namespace import _file_key
+        from repro.core.segment import SYNTHETIC, StoredSegment
+
+        from repro.core.hashing import HashRing
+        from repro.core.location import OwnerRecord
+        from repro.kvstore.wal import _value_bytes
+        from repro.storage.filesystem import _File
+
+        from repro.core.extent import RangeMap
+
+        rng = self.rngs.py("preload-bulk")
+        rb = rng.getrandbits
+        draw_id = lambda: rb(128)   # noqa: E731 - hoisted, built once
+        hosts = on or sorted(self.provider_names)
+        nhosts = len(hosts)
+        members = getattr(self, "_preload_view", None)
+        if members is None or len(members) != len(self.provider_names):
+            members = self._preload_view = sorted(self.provider_names)
+            self._preload_ring = HashRing(self.params.ring_vnodes)
+        ring = self._preload_ring
+        now = self.sim.now
+        get_provider = self.providers.get
+        shard_map = self.ns_shard_map
+        shard_servers = self.ns_shard_servers
+        flat_ns = None if shard_map is not None else self.ns
+        nreps = min(degree, nhosts)
+        # Segment objects differ only in segid/size/meta/extents; build
+        # them from a prototype __dict__ instead of re-running the
+        # 15-field dataclass __init__ twice per file.
+        proto = dict(StoredSegment(
+            segid=0, version=1, committed=True,
+            replication_degree=degree, alpha=alpha,
+            placement=placement, last_access=now).__dict__)
+        del proto["extents"]
+        new_seg = StoredSegment.__new__
+        new_map = RangeMap.__new__
+        locate = None
+
+        # Entries differ only in path and fileid; fileids and timestamps
+        # cost a flat 16 bytes in the WAL's accounting, so the recursive
+        # byte walk runs once and per-file footprints are patched by
+        # path length.
+        entry_template: Optional[dict] = None
+        val_base = key_base = 0
+
+        # Per-provider bound state, resolved once per host: the two
+        # per-segment plants (segment store + home location table) are
+        # the loop's hottest calls, so the store's fresh-insert fast
+        # path (:meth:`SegmentStore.plant_fresh`) is cached as a bound
+        # method and the body of :meth:`LocationTable.plant` is inlined
+        # against cached dict references (state-identical; a non-fresh
+        # segid falls back to the real method).  The refresh-wheel
+        # bucket is also constant for the whole batch (one ``now``),
+        # so each table's bucket is resolved once instead of per
+        # record.
+        store_ctx: dict = {}
+        loc_ctx: dict = {}
+
+        count = 0
+        gc_was = gc.isenabled()
+        if gc_was:
+            gc.disable()
+        try:
+            for path, size in files:
+                fileid = rb(128)
+                layout = make_layout("linear", draw_id)
+                layout.grow_to(size, draw_id)
+                start = rng.randrange(nhosts)
+                segrefs = layout.segments
+                nsegs = len(segrefs)
+                if locate is None:
+                    # One reconcile+flush warms the scratch ring; after
+                    # it the member view is identity-stable, so the raw
+                    # lookup is safe for the rest of the batch.
+                    ring.home_host(fileid, members)
+                    locate = ring._locate
+                for idx in range(nsegs + 1):
+                    if idx < nsegs:
+                        ref = segrefs[idx]
+                        segid = ref.segid
+                        seg_size = ref.size
+                        meta = None
+                    else:   # the per-file index segment
+                        segid = fileid
+                        seg_size = 4096
+                        meta = {"layout": layout, "attached": None,
+                                "attached_len": 0}
+                    if nreps == 1:
+                        owners = (hosts[(start + idx) % nhosts],)
+                    else:
+                        owners = dict.fromkeys(
+                            hosts[(start + idx + r) % nhosts]
+                            for r in range(nreps))
+                    for owner in owners:
+                        ctx = store_ctx.get(owner)
+                        if ctx is None:
+                            provider = get_provider(owner)
+                            if provider is None:
+                                ctx = store_ctx[owner] = False
+                            else:
+                                pfs = provider.node.fs
+                                ctx = store_ctx[owner] = (
+                                    provider.store.plant_fresh,
+                                    pfs, pfs.files)
+                        if ctx:
+                            seg = new_seg(StoredSegment)
+                            sd = seg.__dict__
+                            sd.update(proto)
+                            sd["segid"] = segid
+                            sd["size"] = seg_size
+                            sd["meta"] = meta
+                            em = new_map(RangeMap)
+                            if seg_size > 0:
+                                em._starts = [0]
+                                em._spans = [(0, seg_size, SYNTHETIC)]
+                                em._covered = seg_size
+                            else:
+                                em._starts = []
+                                em._spans = []
+                                em._covered = 0
+                            sd["extents"] = em
+                            ctx[0](seg)
+                            # == seg.fs_name (version is always 1 here);
+                            # bytes.hex() beats the f-string %032x format
+                            # by a few µs/call, which matters ×2 segs ×
+                            # 200k files.
+                            ctx[2][
+                                segid.to_bytes(16, "big").hex() + ".1"
+                            ] = _File(size=seg_size, allocated=seg_size)
+                            ctx[1].used += seg_size
+                        home = locate(segid)
+                        lctx = loc_ctx.get(home)
+                        if lctx is None:
+                            home_p = get_provider(home)
+                            if home_p is None:
+                                lctx = loc_ctx[home] = False
+                            else:
+                                loc = home_p.loc
+                                tick = int(now / loc._WHEEL_TICK)
+                                bucket = loc._rwheel.get(tick)
+                                if bucket is None:
+                                    bucket = loc._rwheel[tick] = set()
+                                lctx = loc_ctx[home] = (
+                                    loc, loc._entries, loc._first_seen,
+                                    loc._ins_seq, loc._by_owner,
+                                    bucket, loc._rtick, tick)
+                        if lctx:
+                            # LocationTable.plant, inlined.
+                            loc = lctx[0]
+                            seg_owners = lctx[1].get(segid)
+                            if seg_owners is None:
+                                seg_owners = lctx[1][segid] = {}
+                                lctx[2][segid] = now
+                                lctx[3][segid] = loc._next_seq
+                                loc._next_seq += 1
+                            seg_owners[owner] = OwnerRecord(
+                                1, degree, seg_size, now)
+                            owned = lctx[4].get(owner)
+                            if owned is None:
+                                owned = lctx[4][owner] = set()
+                            owned.add(segid)
+                            okey = (segid, owner)
+                            lctx[5].add(okey)
+                            lctx[6][okey] = lctx[7]
+                if entry_template is None:
+                    from repro.core.namespace import FileEntry
+                    entry_template = FileEntry(
+                        path=path, fileid=fileid, version=1,
+                        ctime=now, mtime=now, degree=degree, alpha=alpha,
+                        placement=placement).to_dict()
+                    entry = entry_template
+                    val_base = _value_bytes(entry) - len(path)
+                    key_base = 24 + len(_file_key(path)) - len(path)
+                else:
+                    entry = entry_template.copy()
+                    entry["path"] = path
+                    entry["fileid"] = fileid
+                wal_bytes = key_base + val_base + 2 * len(path)
+                if shard_map is not None:
+                    shard = shard_servers[shard_map.owner_of(path)]
+                    if not shard.node.dormant:
+                        shard.db.put(_file_key(path), entry,
+                                     nbytes=wal_bytes)
+                elif not flat_ns.node.dormant:
+                    flat_ns.db.put(_file_key(path), entry,
+                                   nbytes=wal_bytes)
+                count += 1
+        finally:
+            if gc_was:
+                if count >= self._FREEZE_THRESHOLD:
+                    # The population is permanent cluster state; move it
+                    # (and everything else currently alive) into the
+                    # permanent generation so the traffic window's
+                    # collections never rescan it.
+                    gc.freeze()
+                gc.enable()
+        return count
 
     # ------------------------------------------------------------- metrics
     def storage_utilizations(self) -> Dict[str, float]:

@@ -149,10 +149,12 @@ def build_scale_program(point, seed, smoke_preload, pmap,
     def _preload(prog):
         # Every worker runs the full preload: placement math and RNG
         # draws are global, state is planted only on local providers.
-        for tenant in range(N_TENANTS):
-            for i in range(fpt):
-                prog.dep.preload_file(_tenant_file(tenant, i), FILE_SIZE,
-                                      degree=1)
+        # The bulk fast path draws a fixed count per file from one
+        # stream, so every worker stays aligned by construction.
+        prog.dep.preload_files(
+            ((_tenant_file(tenant, i), FILE_SIZE)
+             for tenant in range(N_TENANTS) for i in range(fpt)),
+            degree=1)
 
     def _sessions(prog):
         d = prog.dep
@@ -246,7 +248,13 @@ def run_scale_point_partitioned(n_providers: int, n_files: int,
         "backend": backend,
         "lookahead_us": round(pmap.lookahead(spec.latency) * 1e6, 1),
         "windows": stats.windows,
+        "grants": stats.grants,
+        "windows_per_grant": stats.windows_per_grant,
+        "fallback_rounds": stats.fallback_rounds,
         "records_shipped": stats.records_shipped,
+        "shm_batches": stats.shm_batches,
+        "shm_bytes": stats.shm_bytes,
+        "shm_fallbacks": stats.shm_fallbacks,
         "barrier_wall_s": round(stats.barrier_wall_s, 3),
         "busy_wall_s": [round(b, 3) for b in stats.busy_wall_s],
         "worker_events": stats.events,

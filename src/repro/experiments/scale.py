@@ -116,13 +116,15 @@ def run_point(n_providers: int, n_files: int, n_sessions: int,
     # still empty (each of its tasks iterates committed_segments()).
     dep.warm_up(params.join_refresh_delay_max + 1.0)
 
-    # Then preload the file population (planted directly, no simulated
-    # I/O, so sim.now does not advance and no protocol traffic fires).
+    # Then preload the file population (planted directly through the
+    # bulk fast path: no simulated I/O, so sim.now does not advance and
+    # no protocol traffic fires).
     t_preload = time.perf_counter()
     fpt = files_per_tenant(n_files, smoke_preload)
-    for tenant in range(N_TENANTS):
-        for i in range(fpt):
-            dep.preload_file(_tenant_file(tenant, i), FILE_SIZE, degree=1)
+    dep.preload_files(
+        ((_tenant_file(tenant, i), FILE_SIZE)
+         for tenant in range(N_TENANTS) for i in range(fpt)),
+        degree=1)
     preload_wall = time.perf_counter() - t_preload
 
     # Thousands of sessions: Zipf tenant skew, diurnal arrival wave,

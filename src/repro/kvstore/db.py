@@ -42,10 +42,13 @@ class KVStore:
         return self._tree is None
 
     # -- mutations ---------------------------------------------------------
-    def put(self, key, value) -> int:
-        """Insert/overwrite; returns bytes written to the WAL."""
+    def put(self, key, value, nbytes: Optional[int] = None) -> int:
+        """Insert/overwrite; returns bytes written to the WAL.
+
+        ``nbytes`` optionally pre-supplies the WAL footprint (see
+        :meth:`WriteAheadLog.append`)."""
         tree = self._live()
-        _, nbytes = self._wal.append(PUT, key, value)
+        _, nbytes = self._wal.append(PUT, key, value, nbytes=nbytes)
         tree.put(key, value)
         return nbytes
 

@@ -9,7 +9,7 @@ for appends and checkpoints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 PUT = "put"
 DELETE = "del"
@@ -52,14 +52,21 @@ class WriteAheadLog:
         self._next_lsn = 0
         self.bytes_appended = 0
 
-    def append(self, op: str, key: Any, value: Any = None) -> Tuple[WalRecord, int]:
-        """Log a mutation; returns (record, approx bytes written)."""
+    def append(self, op: str, key: Any, value: Any = None,
+               nbytes: Optional[int] = None) -> Tuple[WalRecord, int]:
+        """Log a mutation; returns (record, approx bytes written).
+
+        ``nbytes`` pre-supplies the record's approximate footprint when
+        the caller already knows it — the bulk-preload path writes many
+        same-shaped values and computes the recursive byte walk once.
+        """
         if op not in (PUT, DELETE):
             raise ValueError(f"bad op {op!r}")
         rec = WalRecord(self._next_lsn, op, key, value)
         self._next_lsn += 1
         self._records.append(rec)
-        nbytes = rec.approx_bytes()
+        if nbytes is None:
+            nbytes = rec.approx_bytes()
         self.bytes_appended += nbytes
         return rec, nbytes
 

@@ -74,6 +74,11 @@ class Simulator:
         self._peak_pending: int = 0
         self._timer_pool: list = []
         self._kick_pool: list = []
+        #: Cooperative break for :meth:`run_window`: a callback fired
+        #: mid-window (e.g. "my last local process completed") sets this
+        #: to make the window loop return early.  The caller owns
+        #: clearing it.
+        self.window_break: bool = False
         #: The process whose generator is currently executing (None
         #: between resumptions).  Consumers like the tracer use it to
         #: attribute work to a logical task without threading a context
@@ -263,6 +268,68 @@ class Simulator:
         event._dispatch()
         if type(event) is _Kick and len(self._kick_pool) < _POOL_MAX:
             self._kick_pool.append(event)
+
+    def run_window(self, t_end: float, grid: float = 0.0) -> int:
+        """Process every event strictly before ``t_end`` in one fused loop.
+
+        The conservative-parallel harness used to alternate
+        ``next_event_time()`` + ``step()``, peeking all three containers
+        twice per event; with multi-window grants this *is* the worker
+        hot loop, so the peek and the pop are fused here.  Selection
+        order is identical to :meth:`step` (lexicographically smallest
+        ``(time, priority, seq)`` across the FIFOs and the heap).
+
+        Returns the number of distinct grid-aligned windows of width
+        ``grid`` that contained at least one processed event (0 when
+        ``grid`` is 0) — the "granted vs executed" accounting for the
+        grant protocol.  Stops early when :attr:`window_break` is set by
+        a callback; the caller inspects and clears the flag.
+        """
+        imm0, imm1 = self._imm0, self._imm1
+        pop = heapq.heappop
+        wins = 0
+        edge = -1.0
+        while True:
+            # NB: ``_heap`` must be re-read every iteration — a cancel
+            # during dispatch can compact it into a fresh list
+            # (:meth:`_note_cancelled`); the deques are never rebound.
+            heap = self._heap
+            src = 0
+            best = imm0[0] if imm0 else None
+            if imm1 and (best is None or imm1[0] < best):
+                best = imm1[0]
+                src = 1
+            if heap and (best is None or heap[0] < best):
+                best = heap[0]
+                src = 2
+            if best is None or best[0] >= t_end:
+                return wins
+            if src == 2:
+                pop(heap)
+            elif src == 1:
+                imm1.popleft()
+            else:
+                imm0.popleft()
+            when, _prio, _seq, event = best
+            self._npending -= 1
+            self.now = when
+            if event.state is CANCELLED:
+                self._nswept += 1
+                if self._ntomb:
+                    self._ntomb -= 1
+                if type(event) is Timer and len(self._timer_pool) < _POOL_MAX:
+                    event.value = None
+                    self._timer_pool.append(event)
+                continue
+            self._nprocessed += 1
+            if grid and when >= edge:
+                wins += 1
+                edge = (int(when / grid) + 1.0) * grid
+            event._dispatch()
+            if type(event) is _Kick and len(self._kick_pool) < _POOL_MAX:
+                self._kick_pool.append(event)
+            if self.window_break:
+                return wins
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until no events remain or virtual time passes ``until``."""

@@ -19,14 +19,23 @@ them with a conservative bounded-window (YAWNS-style) barrier protocol:
   reserving the receiver's rx link at drain time.  Drain wakes are
   priority-2 events, so at any instant every ordinary (priority <= 1)
   local event runs before any drain, in serial and parallel runs alike.
-* **Window engine** — time advances in windows that always end on a
-  multiple of ``L``: ``T_end = grid_next(min next-event-time)``.  Any
-  message sent at ``t >= T_min`` arrives at ``>= t + L >= T_end``, so a
-  window's records can be exchanged at the barrier after it without any
-  worker ever receiving an event in its past.  Grid alignment makes
-  phase-transition times a pure function of *model* quantities (max
-  process-completion time), which is what lets a serial run of the same
-  partitioned model reproduce the parallel run bit for bit.
+* **Grant engine** — time advances in grid-aligned windows (multiples
+  of ``L``), granted in *batches*: worker ``V`` cannot act before the
+  chained bound ``ea(V) = min(its next event, earliest record held for
+  it, earliest other action + L)``, so nothing it sends can arrive
+  before ``ea(V) + L`` — worker ``W`` may therefore run clear to
+  ``grid_next(min over V != W of ea(V))`` in one round trip, often
+  covering several windows and skipping idle workers entirely.  Workers with nothing to do
+  below their grant are advanced silently (an empty window never
+  touches the worker), and a worker whose last local process completes
+  mid-grant parks at the next grid point; each "procs" phase ends with
+  a drain to the phase-end barrier so every backend enters the next
+  phase having executed exactly the events below it.  Grid alignment
+  makes phase-transition times a pure function of *model* quantities
+  (max process-completion time), which is what lets a serial run of the
+  same partitioned model reproduce the parallel run bit for bit.  In
+  the mp backend, record batches ride a shared-memory ring per worker
+  (:class:`_ShmChannel`); the pipes carry only small control tuples.
 
 Determinism contract: with a fixed partition map and seed, the
 ``serial`` (one Simulator hosting every partition), ``inproc`` (K
@@ -46,6 +55,8 @@ from __future__ import annotations
 
 import heapq
 import math
+import pickle
+import struct
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -174,6 +185,12 @@ class Transit:
         self.wakes = 0
         self.delivered = 0
         self.dropped = 0
+        # Grant-protocol accounting (filled by the worker loop): how many
+        # window grants this partition received, how many grid windows
+        # they covered, and how many of those actually contained events.
+        self.grants = 0
+        self.windows_granted = 0
+        self.windows_executed = 0
         self.traffic_out: Dict[Tuple[str, int], List[int]] = {}
         self.traffic_in: Dict[Tuple[str, int], List[int]] = {}
 
@@ -313,6 +330,11 @@ class Transit:
             "wakes": self.wakes,
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "grants": self.grants,
+            "windows_granted": self.windows_granted,
+            "windows_executed": self.windows_executed,
+            "windows_per_grant": round(self.windows_granted / self.grants, 3)
+            if self.grants else 0.0,
             "cross_matrix": self.cross_matrix(),
         }
 
@@ -408,9 +430,11 @@ class _Worker:
         self.program = program
         self.sim: Simulator = program.sim
         self.transit: Transit = program.transit
+        self._L: float = self.transit.lookahead
         self._mode: Optional[str] = None
         self._open = 0
         self._done_t = 0.0
+        self._pos = 0.0
         self.busy_wall = 0.0
 
     # Commands ----------------------------------------------------------
@@ -437,10 +461,10 @@ class _Worker:
         finally:
             self.busy_wall += time.perf_counter() - t0
 
-    def _status(self) -> tuple:
+    def _status(self, stop_t: Optional[float] = None, wexec: int = 0) -> tuple:
         done = self._mode != "procs" or self._open == 0
         return ("s", self.sim.next_event_time(), done, self._done_t,
-                self.transit.flush_outbox())
+                stop_t, wexec, self.transit.flush_outbox())
 
     def _start_phase(self, idx: int, t_start: float) -> tuple:
         sim = self.sim
@@ -451,6 +475,8 @@ class _Worker:
         self._mode = kind
         self._open = 0
         self._done_t = sim.now
+        self._pos = t_start
+        sim.window_break = False
         if kind == "call":
             arg(self.program)
         elif kind == "procs":
@@ -462,6 +488,12 @@ class _Worker:
                 t = self.sim.now
                 if t > self._done_t:
                     self._done_t = t
+                if self._open == 0:
+                    # Last local process just completed: ask the window
+                    # loop to pause so the grant can be re-capped at the
+                    # next grid point (no worker runs ahead of the
+                    # phase-end barrier it can't see yet).
+                    self.sim.window_break = True
 
             for p in procs:
                 if p.triggered:
@@ -473,17 +505,205 @@ class _Worker:
         return self._status()
 
     def _run_window(self, t_end: float, inbound) -> tuple:
+        """Run every local event with ``t < t_end``, injecting ``inbound``
+        transit records first.
+
+        ``t_end`` may span many grid windows (a multi-window grant) —
+        conservatively safe because the coordinator bounded it by every
+        other partition's earliest possible send plus the lookahead.  If
+        the last local process of a "procs" phase completes mid-grant,
+        the effective end is pulled back to the next grid point, so the
+        executed region never crosses the eventual phase-end barrier.
+        """
         if inbound:
             self.transit.inject(inbound)
         sim = self.sim
-        step = sim.step
-        nxt = sim.next_event_time
+        L = self._L
+        tr = self.transit
+        tr.grants += 1
+        tr.windows_granted += max(0, round((t_end - self._pos) / L))
+        wins = 0
         while True:
-            t = nxt()
-            if t is None or t >= t_end:
-                break
-            step()
-        return self._status()
+            wins += sim.run_window(t_end, L)
+            if sim.window_break:
+                sim.window_break = False
+                stop = _grid_next(self._done_t, L)
+                if stop < t_end:
+                    t_end = stop
+                continue
+            break
+        tr.windows_executed += wins
+        self._pos = t_end
+        return self._status(t_end, wins)
+
+
+# ------------------------------------------- shared-memory record channel
+#: Fixed-width record header: arrive f8, src_pid u4, seq i8, size i8,
+#: req_id i8, flags u1, then the four variable-field lengths (dst, src,
+#: kind, group as u2; pickled payload as u4).  Strings are utf-8; floats
+#: round-trip exactly through ``d``, so decoded records compare equal to
+#: the originals bit for bit.
+_REC_HEAD = struct.Struct("<dIqqqBHHHHI")
+_F_REQID = 1
+_F_GROUP = 2
+_F_PAYLOAD = 4
+
+
+def _encode_records(records: Sequence[tuple]) -> bytes:
+    """Compact struct encoding of transit records (payloads pickled)."""
+    parts: List[bytes] = []
+    pack = _REC_HEAD.pack
+    dumps = pickle.dumps
+    for (arrive, src_pid, seq, dst, src, kind, payload, size,
+         group, req_id) in records:
+        flags = 0
+        if req_id is not None:
+            flags |= _F_REQID
+        g = b""
+        if group is not None:
+            flags |= _F_GROUP
+            g = group.encode()
+        p = b""
+        if payload is not None:
+            flags |= _F_PAYLOAD
+            p = dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        d = dst.encode()
+        s = src.encode()
+        k = kind.encode()
+        parts.append(pack(arrive, src_pid, seq, size,
+                          req_id if req_id is not None else 0, flags,
+                          len(d), len(s), len(k), len(g), len(p)))
+        parts.append(d)
+        parts.append(s)
+        parts.append(k)
+        if g:
+            parts.append(g)
+        if p:
+            parts.append(p)
+    return b"".join(parts)
+
+
+def _decode_records(buf, off: int, count: int) -> List[tuple]:
+    out = []
+    unpack = _REC_HEAD.unpack_from
+    hsz = _REC_HEAD.size
+    loads = pickle.loads
+    for _ in range(count):
+        (arrive, src_pid, seq, size, req_id, flags,
+         ld, ls, lk, lg, lp) = unpack(buf, off)
+        off += hsz
+        dst = bytes(buf[off:off + ld]).decode()
+        off += ld
+        src = bytes(buf[off:off + ls]).decode()
+        off += ls
+        kind = bytes(buf[off:off + lk]).decode()
+        off += lk
+        group = None
+        if flags & _F_GROUP:
+            group = bytes(buf[off:off + lg]).decode()
+            off += lg
+        payload = None
+        if flags & _F_PAYLOAD:
+            payload = loads(bytes(buf[off:off + lp]))
+            off += lp
+        out.append((arrive, src_pid, seq, dst, src, kind, payload, size,
+                    group, req_id if flags & _F_REQID else None))
+    return out
+
+
+class _ShmChannel:
+    """Shared-memory transit lane for one mp worker (fork start method).
+
+    Cross-cut records ride a pair of single-writer byte rings in
+    ``multiprocessing.shared_memory`` — coordinator→worker for grant
+    inbounds, worker→coordinator for barrier flushes — so the pipe
+    carries only small fixed-shape control tuples.  The strict
+    request/reply protocol means a ring is always fully drained before
+    its writer runs again, so each batch is written contiguously: at the
+    ring's running offset when it fits before the end, else wrapped to
+    offset 0.  The descriptor (offset, byte count, record counts) rides
+    the pipe command, whose syscall ordering also fences the
+    shared-memory writes.  A batch larger than the ring falls back to an
+    inline pipe payload (counted, never fatal).
+    """
+
+    def __init__(self, capacity: int = 1 << 22):
+        from multiprocessing import shared_memory
+
+        self.capacity = capacity
+        self._c2w = shared_memory.SharedMemory(create=True, size=capacity)
+        self._w2c = shared_memory.SharedMemory(create=True, size=capacity)
+        self._off = {id(self._c2w): 0, id(self._w2c): 0}
+        # Parent-side accounting (the forked child's copies diverge).
+        self.batches = 0
+        self.bytes_shipped = 0
+        self.fallbacks = 0
+
+    def _write(self, shm, payload: bytes) -> Optional[int]:
+        n = len(payload)
+        if n > self.capacity:
+            return None
+        off = self._off[id(shm)]
+        if off + n > self.capacity:
+            off = 0
+        shm.buf[off:off + n] = payload
+        self._off[id(shm)] = off + n
+        return off
+
+    # -- coordinator side ----------------------------------------------
+    def write_grant(self, records: Sequence[tuple]) -> Optional[tuple]:
+        enc = _encode_records(records)
+        off = self._write(self._c2w, enc)
+        if off is None:
+            self.fallbacks += 1
+            return None
+        self.batches += 1
+        self.bytes_shipped += len(enc)
+        return ("shm", off, len(enc), len(records))
+
+    def read_flush(self, off: int, sections: Sequence[tuple]
+                   ) -> Dict[int, List[tuple]]:
+        out: Dict[int, List[tuple]] = {}
+        buf = self._w2c.buf
+        self.batches += 1
+        for dst_pid, count, nbytes in sections:
+            out[dst_pid] = _decode_records(buf, off, count)
+            off += nbytes
+            self.bytes_shipped += nbytes
+        return out
+
+    # -- worker side ----------------------------------------------------
+    def read_grant(self, off: int, nbytes: int, count: int) -> List[tuple]:
+        return _decode_records(self._c2w.buf, off, count)
+
+    def write_flush(self, out: Dict[int, List[tuple]]) -> Optional[tuple]:
+        sections = []
+        parts = []
+        for dst_pid, recs in out.items():
+            enc = _encode_records(recs)
+            sections.append((dst_pid, len(recs), len(enc)))
+            parts.append(enc)
+        payload = b"".join(parts)
+        off = self._write(self._w2c, payload)
+        if off is None:
+            return None
+        return ("shm", off, sections)
+
+    # -- lifecycle ------------------------------------------------------
+    def close_child(self) -> None:
+        try:
+            self._c2w.close()
+            self._w2c.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        for shm in (self._c2w, self._w2c):
+            try:
+                shm.close()
+                shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
 
 
 # ------------------------------------------------------------- endpoints
@@ -506,19 +726,38 @@ class _LocalEndpoint:
 
 
 class _PipeEndpoint:
-    """Fork-per-partition link: commands and records ride one Pipe."""
+    """Fork-per-partition link: low-rate control commands ride one Pipe;
+    bulk transit records ride the shared-memory channel when present."""
 
-    def __init__(self, conn, proc):
+    def __init__(self, conn, proc, channel: Optional[_ShmChannel] = None):
         self.conn = conn
         self.proc = proc
+        self.channel = channel
 
     def post(self, cmd: tuple) -> None:
+        if cmd[0] == "win":
+            _op, t_end, inbound = cmd
+            spec = None
+            if inbound and self.channel is not None:
+                spec = self.channel.write_grant(inbound)
+            if spec is None:
+                spec = ("inl", inbound)
+            self.conn.send(("win", t_end, spec))
+            return
         self.conn.send(cmd)
 
     def wait(self):
         reply = self.conn.recv()
-        if isinstance(reply, tuple) and reply and reply[0] == "err":
-            raise RuntimeError(f"partition worker failed: {reply[1]}")
+        if isinstance(reply, tuple) and reply:
+            if reply[0] == "err":
+                raise RuntimeError(f"partition worker failed: {reply[1]}")
+            if reply[0] == "s":
+                spec = reply[6]
+                if spec[0] == "shm":
+                    out = self.channel.read_flush(spec[1], spec[2])
+                else:
+                    out = spec[1]
+                return reply[:6] + (out,)
         return reply
 
     def stop(self) -> None:
@@ -530,9 +769,12 @@ class _PipeEndpoint:
         self.proc.join(timeout=30)
         if self.proc.is_alive():
             self.proc.terminate()
+        if self.channel is not None:
+            self.channel.close()
 
 
-def _mp_worker_main(conn, builder, args, pid) -> None:
+def _mp_worker_main(conn, builder, args, pid,
+                    channel: Optional[_ShmChannel] = None) -> None:
     try:
         program = builder(*args, local_pid=pid)
         worker = _Worker(program)
@@ -542,9 +784,28 @@ def _mp_worker_main(conn, builder, args, pid) -> None:
     while True:
         cmd = conn.recv()
         if cmd[0] == "stop":
+            if channel is not None:
+                channel.close_child()
             return
         try:
-            conn.send(worker.handle(cmd))
+            if cmd[0] == "win":
+                spec = cmd[2]
+                if spec[0] == "shm":
+                    inbound = channel.read_grant(spec[1], spec[2], spec[3])
+                else:
+                    inbound = spec[1]
+                reply = worker.handle(("win", cmd[1], inbound))
+            else:
+                reply = worker.handle(cmd)
+            if isinstance(reply, tuple) and reply and reply[0] == "s":
+                out = reply[6]
+                spec = None
+                if out and channel is not None:
+                    spec = channel.write_flush(out)
+                if spec is None:
+                    spec = ("inl", out)
+                reply = reply[:6] + (spec,)
+            conn.send(reply)
         except Exception as exc:  # noqa: BLE001
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
             return
@@ -555,9 +816,16 @@ def _mp_worker_main(conn, builder, args, pid) -> None:
 class RunStats:
     backend: str = "serial"
     n_partitions: int = 1
-    windows: int = 0
-    barriers: int = 0
+    windows: int = 0                # grid windows granted (sum over grants)
+    barriers: int = 0               # coordination rounds
+    grants: int = 0                 # "win" commands issued (round trips)
+    windows_executed: int = 0       # granted windows that contained events
+    windows_per_grant: float = 0.0  # windows / grants
+    fallback_rounds: int = 0        # classic-window rounds (stall escape)
     records_shipped: int = 0
+    shm_batches: int = 0            # record batches through the shm channel
+    shm_bytes: int = 0
+    shm_fallbacks: int = 0          # batches too big for the ring (pipe)
     wall_s: float = 0.0
     barrier_wall_s: float = 0.0     # coordinator time around window rounds
     busy_wall_s: List[float] = field(default_factory=list)
@@ -569,8 +837,9 @@ def run_partitioned(builder: Callable, args: tuple, pmap: PartitionMap,
                     phase_meta: Sequence[Tuple[str, Optional[float]]],
                     backend: str = "serial",
                     fabric_latency: Optional[float] = None,
-                    horizon: float = 1e7) -> Dict[str, Any]:
-    """Execute a phased partition program under conservative windows.
+                    horizon: float = 1e7,
+                    max_grant_windows: Optional[int] = None) -> Dict[str, Any]:
+    """Execute a phased partition program under conservative grants.
 
     ``builder(*args, local_pid=...)`` constructs one partition program: an
     object with ``sim`` (Simulator), ``transit`` (Transit), ``phases()``
@@ -582,7 +851,24 @@ def run_partitioned(builder: Callable, args: tuple, pmap: PartitionMap,
     ``("until", T)`` advances every partition to the grid point at/above
     ``T``; ``("call", None)`` runs a setup callable at the current grid
     point (no sim time passes); ``("procs", None)`` spawns processes and
-    windows forward until every partition's processes have completed.
+    grants forward until every partition's processes have completed,
+    then drains every partition to the phase-end barrier.
+
+    **Grant rule.**  Worker ``V`` cannot act before ``act(V) = min(its
+    next event time, the earliest arrival among records the coordinator
+    still holds for it)`` — but it may also *react* to another worker's
+    send one lookahead hop after it, so its true earliest action is the
+    chained fixpoint ``ea(V) = min(act(V), min over U != V of ea(U) +
+    L)`` (closed form: relax every ``act`` against the global minimum
+    plus ``L``).  Nothing ``V`` sends can arrive before ``ea(V) + L``,
+    so ``W`` may run to ``grant(W) = grid_next(min over V != W of
+    ea(V))`` without ever receiving a record in its executed past.
+    Workers with no work below their grant are advanced
+    silently — an empty window never touches the worker, so skipping
+    the round trip is exactly equivalent.  ``max_grant_windows`` caps
+    the windows of *potential work* per grant (``None`` = adaptive,
+    doubling on quiet inbound, halving on traffic); 1 reproduces
+    single-window execution.
 
     Returns ``{"results": [per-partition result dicts], "stats": RunStats,
     "traffic_out"/"traffic_in": merged matrices}``.
@@ -607,91 +893,195 @@ def run_partitioned(builder: Callable, args: tuple, pmap: PartitionMap,
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = mp.get_context("spawn")
+        use_shm = ctx.get_start_method() == "fork"
         for p in range(pmap.n_partitions):
             parent_conn, child_conn = ctx.Pipe()
+            channel = _ShmChannel() if use_shm else None
             proc = ctx.Process(target=_mp_worker_main,
-                               args=(child_conn, builder, args, p),
+                               args=(child_conn, builder, args, p, channel),
                                daemon=True)
             proc.start()
             child_conn.close()
-            endpoints.append(_PipeEndpoint(parent_conn, proc))
+            endpoints.append(_PipeEndpoint(parent_conn, proc, channel))
         if fabric_latency is None:
             raise ValueError("mp backend needs fabric_latency for lookahead")
         L = pmap.lookahead(fabric_latency)
     else:
         raise ValueError(f"unknown backend {backend!r}")
 
-    def broadcast(make_cmd) -> List[tuple]:
-        for i, ep in enumerate(endpoints):
-            ep.post(make_cmd(i))
-        return [ep.wait() for ep in endpoints]
+    n = len(endpoints)
+    INF = math.inf
+    adaptive = max_grant_windows is None
+    cap = [8 if adaptive else max(1, max_grant_windows)] * n
+    # Per-endpoint coordination state.  ``pos[i]`` is the grant frontier:
+    # endpoint i has executed every event below it and nothing at/after.
+    pos = [0.0] * n
+    nev: List[Optional[float]] = [None] * n
+    done = [True] * n
+    done_t = [0.0] * n
+    # Records generated in one grant, injected with the receiver's next.
+    pending: Dict[int, List[tuple]] = {i: [] for i in range(n)}
 
-    # Records generated in one window, distributed at the next barrier.
-    pending: Dict[int, List[tuple]] = {i: [] for i in range(len(endpoints))}
+    def absorb(i: int, reply: tuple) -> None:
+        _tag, next_t, dn, dt, stop_t, wexec, out = reply
+        nev[i] = next_t
+        done[i] = dn
+        done_t[i] = dt
+        if stop_t is not None:
+            pos[i] = stop_t
+        stats.windows_executed += wexec
+        for dst_pid, recs in out.items():
+            pending[dst_pid if n > 1 else 0].extend(recs)
+            stats.records_shipped += len(recs)
 
-    def absorb(replies) -> Tuple[Optional[float], bool, float]:
-        """Fold a round of status replies into (T_min, all_done, t_all)."""
-        t_min: Optional[float] = None
-        all_done = True
-        t_all = 0.0
-        for _tag, next_t, done, done_t, out in replies:
-            if next_t is not None and (t_min is None or next_t < t_min):
-                t_min = next_t
-            all_done = all_done and done
-            if done_t > t_all:
-                t_all = done_t
-            for dst_pid, recs in out.items():
-                pending[dst_pid if len(endpoints) > 1 else 0].extend(recs)
-                stats.records_shipped += len(recs)
-        for recs in pending.values():
-            for rec in recs:
-                if t_min is None or rec[0] < t_min:
-                    t_min = rec[0]
-        return t_min, all_done, t_all
+    def act(i: int) -> float:
+        """Earliest instant endpoint i could possibly execute anything."""
+        a = nev[i]
+        a = INF if a is None else a
+        recs = pending[i]
+        if recs:
+            first = min(rec[0] for rec in recs)
+            if first < a:
+                a = first
+        return a
 
     try:
         t_cursor = 0.0
         for idx, (kind, until_t) in enumerate(phase_meta):
             t_phase0 = time.perf_counter()
             t_phase_start = t_cursor
-            replies = broadcast(lambda _i, idx=idx: ("phase", idx, t_cursor))
-            t_min, all_done, t_all = absorb(replies)
-            target = None
+            rounds0 = stats.barriers
+            for ep in endpoints:
+                ep.post(("phase", idx, t_cursor))
+            for i, ep in enumerate(endpoints):
+                absorb(i, ep.wait())
+            for i in range(n):
+                pos[i] = t_cursor
+            if kind == "call":
+                stats.phase_log.append({
+                    "kind": kind, "t_start": round(t_phase_start, 9),
+                    "t_end": round(t_cursor, 9), "rounds": 0,
+                    "wall_s": round(time.perf_counter() - t_phase0, 3),
+                })
+                continue
             if kind == "until":
-                target = max(_grid_ceil(until_t, L), t_cursor)
-            if kind != "call":
-                while True:
-                    if kind == "until" and (t_min is None or t_min >= target):
-                        t_cursor = target
-                        break
-                    if kind == "procs" and all_done:
-                        t_cursor = _grid_next(t_all, L)
-                        break
-                    if t_min is None:
-                        raise RuntimeError(
-                            f"phase {idx}: processes pending but no events "
-                            "in any partition (deadlock)")
+                target: Optional[float] = max(_grid_ceil(until_t, L), t_cursor)
+            elif kind == "procs":
+                target = None   # set once every local process completed
+            else:
+                raise ValueError(f"unknown phase kind {kind!r}")
+            while True:
+                acts = [act(i) for i in range(n)]
+                t_min = min(acts)
+                if target is None:
+                    if all(done):
+                        # Phase-end barrier: drain every partition to the
+                        # grid point above the last completion, so each
+                        # backend enters the next phase having executed
+                        # exactly the events below it.
+                        target = _grid_next(max(done_t), L)
+                        continue
+                elif t_min >= target:
+                    t_cursor = target
+                    break
+                if t_min == INF:
+                    raise RuntimeError(
+                        f"phase {idx}: processes pending but no events "
+                        "in any partition (deadlock)")
+                if t_min > horizon:
+                    raise RuntimeError(
+                        f"phase {idx}: exceeded horizon {horizon}s")
+                # Earliest possible *action* per endpoint, chained
+                # through the cut: a worker with no imminent event can
+                # still react to the earliest actor's sends one lookahead
+                # hop later, so ``ea(V) = min(act(V), min over U != V of
+                # ea(U) + L)``.  The fixpoint closes after one relaxation
+                # against the global minimum (longer chains only add more
+                # ``L``), and bounding grants by it is what keeps a
+                # request->reply chain from landing a record inside a
+                # span the requester was already granted.
+                bound = t_min + L
+                ea = [a if a <= bound else bound for a in acts]
+                lo1 = lo2 = INF
+                lo1i = -1
+                for i, e in enumerate(ea):
+                    if e < lo1:
+                        lo2 = lo1
+                        lo1 = e
+                        lo1i = i
+                    elif e < lo2:
+                        lo2 = e
+                contact: List[Tuple[int, float]] = []
+                for i in range(n):
+                    if n > 1:
+                        ob = lo2 if i == lo1i else lo1
+                    else:
+                        ob = INF
+                    a_i = acts[i]
+                    if ob == INF:
+                        g = INF
+                    else:
+                        g = _grid_next(ob, L)
+                    # Cap the windows of potential work (from the first
+                    # thing i could do) per grant, in grid units.
+                    if a_i < INF:
+                        base = max(round(pos[i] / L), math.floor(a_i / L))
+                        lim = (base + cap[i]) * L
+                        if g > lim:
+                            g = lim
+                    elif g == INF:
+                        continue    # nothing to do, nothing to bound
+                    if target is not None and g > target:
+                        g = target
+                    t_send = g if g > pos[i] else pos[i]
+                    if a_i < t_send:
+                        contact.append((i, t_send))
+                    elif t_send > pos[i]:
+                        # No work below the grant: an empty window never
+                        # touches the worker, so advance the frontier
+                        # without the round trip.
+                        pos[i] = t_send
+                if not contact:
+                    # Mutually-pinned unfinished-idle workers can stall the
+                    # grant rule (each pins the other's b at pos - L).
+                    # Fall back to one classic global window: safe for the
+                    # same reason the single-window protocol was.
                     t_end = _grid_next(t_min, L)
-                    if kind == "until" and t_end > target:
+                    if target is not None and t_end > target:
                         t_end = target
-                    if t_end > horizon:
+                    contact = [(i, t_end if t_end > pos[i] else pos[i])
+                               for i in range(n)
+                               if acts[i] < max(t_end, pos[i])]
+                    stats.fallback_rounds += 1
+                    if not contact:
                         raise RuntimeError(
-                            f"phase {idx}: exceeded horizon {horizon}s")
-                    t_b0 = time.perf_counter()
-                    inbound, pending = pending, {
-                        i: [] for i in range(len(endpoints))}
-                    replies = broadcast(
-                        lambda i, t_end=t_end: ("win", t_end, inbound[i]))
-                    stats.barrier_wall_s += time.perf_counter() - t_b0
-                    stats.windows += 1
-                    stats.barriers += 1
-                    t_min, all_done, t_all = absorb(replies)
+                            f"phase {idx}: grant scheduler stalled at "
+                            f"t_min={t_min!r} (coordinator bug)")
+                t_b0 = time.perf_counter()
+                for i, t_send in contact:
+                    inbound = pending[i]
+                    if inbound:
+                        pending[i] = []
+                        if adaptive and cap[i] > 1:
+                            cap[i] >>= 1
+                    elif adaptive and cap[i] < 4096:
+                        cap[i] <<= 1
+                    stats.grants += 1
+                    stats.windows += max(0, round((t_send - pos[i]) / L))
+                    endpoints[i].post(("win", t_send, inbound))
+                for i, _t in contact:
+                    absorb(i, endpoints[i].wait())
+                stats.barriers += 1
+                stats.barrier_wall_s += time.perf_counter() - t_b0
             stats.phase_log.append({
                 "kind": kind, "t_start": round(t_phase_start, 9),
                 "t_end": round(t_cursor, 9),
+                "rounds": stats.barriers - rounds0,
                 "wall_s": round(time.perf_counter() - t_phase0, 3),
             })
-        replies = broadcast(lambda _i: ("result",))
+        for ep in endpoints:
+            ep.post(("result",))
+        replies = [ep.wait() for ep in endpoints]
     finally:
         for ep in endpoints:
             ep.stop()
@@ -699,6 +1089,14 @@ def run_partitioned(builder: Callable, args: tuple, pmap: PartitionMap,
     stats.wall_s = time.perf_counter() - t_wall0
     stats.busy_wall_s = [r["busy_wall_s"] for r in replies]
     stats.events = [r["events"] for r in replies]
+    if stats.grants:
+        stats.windows_per_grant = round(stats.windows / stats.grants, 3)
+    for ep in endpoints:
+        ch = getattr(ep, "channel", None)
+        if ch is not None:
+            stats.shm_batches += ch.batches
+            stats.shm_bytes += ch.bytes_shipped
+            stats.shm_fallbacks += ch.fallbacks
     return {
         "results": [r["result"] for r in replies],
         "clocks": [r["clock"] for r in replies],

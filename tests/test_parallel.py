@@ -162,6 +162,61 @@ def test_three_way_cut_fig10():
     assert sum(n for _t, n in serial) > 0
 
 
+# --------------------------------------------------- multi-window grants
+@settings(max_examples=3, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=len(SCALE_HOSTS),
+                max_size=len(SCALE_HOSTS)))
+def test_grant_batching_is_bit_identical(pids):
+    """Multi-window grants must not change a single event interleaving:
+    for random 2/3-way cuts, capping grants at K ∈ {1, 4, 16} windows
+    (K=1 reproduces the classic single-window protocol) yields the same
+    per-session float-exact rows as the adaptive serial reference."""
+    pmap = PartitionMap(dict(zip(SCALE_HOSTS, pids)), 3,
+                        cross_latency=5e-3)
+    reference = _scale_outcome(pmap, "serial")
+
+    for k in (1, 4, 16):
+        out = run_partitioned(build_scale_program,
+                              (SCALE_POINT, 0, True, pmap), pmap,
+                              SCALE_PHASES, backend="inproc",
+                              fabric_latency=80e-6,
+                              max_grant_windows=k)
+        rows = sorted(r for res in out["results"] for r in res["rows"])
+        assert rows == reference, f"K={k} diverged"
+
+
+def test_grants_never_deliver_into_executed_span(monkeypatch):
+    """Safety invariant of the grant rule: by the time a record reaches
+    its destination worker, that worker's executed frontier must not
+    have passed the record's arrival time — and a grant must carry all
+    pending inbound records with it (none held back behind a barrier).
+    """
+    from repro.sim import parallel
+
+    orig = parallel._Worker._run_window
+    grants = []
+
+    def checked(self, t_end, inbound):
+        if inbound:
+            first = min(rec[0] for rec in inbound)
+            assert first >= self._pos - 1e-15, (
+                f"record at {first} delivered behind frontier {self._pos}")
+        assert t_end >= self._pos
+        grants.append(len(inbound) if inbound else 0)
+        return orig(self, t_end, inbound)
+
+    monkeypatch.setattr(parallel._Worker, "_run_window", checked)
+    spec = small_cluster(SCALE_POINT[0], n_compute=20,
+                         capacity_per_node=4 * GB,
+                         name=f"scale-{SCALE_POINT[0]}")
+    pmap = partition_for_spec(spec, 2, cross_latency=5e-3)
+    out = run_partitioned(build_scale_program,
+                          (SCALE_POINT, 0, True, pmap), pmap, SCALE_PHASES,
+                          backend="inproc", fabric_latency=80e-6)
+    assert sum(grants) == out["stats"].records_shipped
+    assert out["stats"].records_shipped > 0
+
+
 # ------------------------------------------------------ substrate details
 def test_dormant_shells_build_identically_but_stay_quiet():
     spec = small_cluster(4, n_compute=2, capacity_per_node=4 * GB)
