@@ -26,6 +26,7 @@ from typing import Any, Optional
 from repro.api.handles import HandleAPI
 from repro.api.pario import ParallelIO
 from repro.api.posix import PosixAPI
+from repro.compute.api import ComputeAPI
 from repro.core.client import SorrentoClient
 from repro.runtime import CallPolicy
 from repro.sim import Barrier
@@ -39,6 +40,7 @@ class Session:
         self._posix: Optional[PosixAPI] = None
         self._handles: Optional[HandleAPI] = None
         self._pario: Optional[ParallelIO] = None
+        self._compute: Optional[ComputeAPI] = None
 
     # -- interface views (built lazily, one each) -----------------------
     @property
@@ -61,6 +63,13 @@ class Session:
         if self._pario is None:
             self._pario = ParallelIO(self.client)
         return self._pario
+
+    @property
+    def compute(self) -> ComputeAPI:
+        """The task-queue interface (bind it to a queue host first)."""
+        if self._compute is None:
+            self._compute = ComputeAPI(self.client)
+        return self._compute
 
     def with_barrier(self, barrier: Barrier) -> "Session":
         """Attach a collective barrier to the ``pario`` view (for

@@ -17,6 +17,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.bench.compute_bench import ablation_summary, run_compute_suite
 from repro.bench.harness import append_entry, bench_entry
 from repro.bench.kernel_bench import run_kernel_suite
 from repro.bench.macro_bench import run_macro_suite
@@ -24,22 +25,28 @@ from repro.bench.nsshard_bench import curve_summary, run_nsshard_suite
 from repro.bench.scale_bench import run_scale_suite
 
 
-def record_ns_shard_curve(path: Path, entry: dict) -> dict:
-    """Store the shard curve under its own top-level key.
+def record_keyed_entry(path: Path, key: str, entry: dict,
+                       benchmark: str) -> dict:
+    """Store a side measurement under its own top-level key.
 
     Deliberately *not* ``append_entry``: the ``entries`` trajectory and
-    its headline compare successive runs of the same scale suite, and
-    the shard curve is a different measurement surface.
+    its headline compare successive runs of the same suite, and these
+    (the shard curve, the compute ablation) are different measurement
+    surfaces.
     """
-    doc = {"benchmark": "scale", "entries": []}
+    doc = {"benchmark": benchmark, "entries": []}
     if path.exists():
         try:
             doc = json.loads(path.read_text())
         except (ValueError, OSError):
             pass
-    doc["ns_shard_curve"] = entry
+    doc[key] = entry
     path.write_text(json.dumps(doc, indent=2) + "\n")
     return doc
+
+
+def record_ns_shard_curve(path: Path, entry: dict) -> dict:
+    return record_keyed_entry(path, "ns_shard_curve", entry, "scale")
 
 
 def main(argv=None) -> int:
@@ -52,7 +59,8 @@ def main(argv=None) -> int:
     parser.add_argument("--out-dir", default=".",
                         help="directory holding BENCH_*.json")
     parser.add_argument("--only",
-                        choices=("kernel", "macro", "scale", "nsshard"),
+                        choices=("kernel", "macro", "scale", "nsshard",
+                                 "compute"),
                         default=None)
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per benchmark (best wall kept)")
@@ -92,6 +100,13 @@ def main(argv=None) -> int:
         entry["curve"] = curve_summary(results)
         record_ns_shard_curve(out / "BENCH_scale.json", entry)
         print(json.dumps(entry["curve"], indent=2), file=sys.stderr)
+    if args.only in (None, "compute"):
+        results = run_compute_suite(smoke=args.smoke, repeat=args.repeat)
+        entry = bench_entry(args.label, results, args.smoke)
+        entry["ablation"] = ablation_summary(results)
+        record_keyed_entry(out / "BENCH_macro.json", "compute_ablation",
+                           entry, "macro")
+        print(json.dumps(entry["ablation"], indent=2), file=sys.stderr)
     return 0
 
 

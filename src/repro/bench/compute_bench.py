@@ -1,0 +1,71 @@
+"""Compute-scheduling ablation: locality vs random vs round-robin.
+
+Runs the ``map_scan`` and ``waves`` scenarios of
+``repro.experiments.compute`` under each scheduling policy and distils
+the headline the compute layer exists for: **network bytes moved**
+(remote input bytes pulled by tasks + bytes moved by scheduler
+pre-staging) and **makespan**, per policy.
+
+Results land in ``BENCH_macro.json`` under the dedicated
+``compute_ablation`` key: the file's ``entries``/``headline``
+trajectory compares successive runs of the storage macro suite, and
+this ablation is a new measurement surface, not a new measurement of
+the old one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compute import POLICIES
+from repro.experiments.compute import run_point
+
+#: (scenario, sizes) — smoke halves everything.
+FULL_SIZES = dict(n_providers=6, n_files=24, file_mb=2)
+SMOKE_SIZES = dict(n_providers=4, n_files=12, file_mb=1)
+FULL_WAVES = dict(n_waves=3, tasks_per_wave=12)
+SMOKE_WAVES = dict(n_waves=2, tasks_per_wave=8)
+
+
+def run_compute_suite(smoke: bool = False, seed: int = 11,
+                      repeat: int = 1) -> Dict[str, Dict]:
+    """Every (scenario, policy) cell; keys like ``map_scan_locality``.
+
+    ``repeat`` keeps the harness-wide knob but is a no-op here: the
+    rows are simulation-deterministic, and wall time is not this
+    suite's headline.
+    """
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    waves = SMOKE_WAVES if smoke else FULL_WAVES
+    results: Dict[str, Dict] = {}
+    for scenario in ("map_scan", "waves"):
+        extra = waves if scenario == "waves" else {}
+        for policy in POLICIES:
+            results[f"{scenario}_{policy}"] = run_point(
+                scenario, policy, seed=seed, **sizes, **extra)
+    return results
+
+
+def ablation_summary(results: Dict[str, Dict]) -> Dict:
+    """The recorded headline: per-policy bytes/makespan + the saving."""
+
+    def cell(scenario, policy, key):
+        return results[f"{scenario}_{policy}"][key]
+
+    rnd_net = cell("map_scan", "random", "net_mb")
+    loc_net = cell("map_scan", "locality", "net_mb")
+    rnd_mk = cell("map_scan", "random", "makespan_s")
+    loc_mk = cell("map_scan", "locality", "makespan_s")
+    return {
+        "map_scan_net_mb": {p: cell("map_scan", p, "net_mb")
+                            for p in POLICIES},
+        "map_scan_makespan_s": {p: cell("map_scan", p, "makespan_s")
+                                for p in POLICIES},
+        "net_reduction_vs_random_pct":
+            round(100.0 * (1.0 - loc_net / rnd_net), 1) if rnd_net else 0.0,
+        "makespan_delta_vs_random_s": round(rnd_mk - loc_mk, 4),
+        "waves_net_mb": {p: cell("waves", p, "net_mb") for p in POLICIES},
+        "waves_prestage_mb": cell("waves", "locality", "prestage_mb"),
+        "waves_local_tasks": {p: cell("waves", p, "local")
+                              for p in POLICIES},
+    }

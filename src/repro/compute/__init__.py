@@ -1,0 +1,13 @@
+"""Data-locality-aware compute on top of the storage cluster.
+
+The paper's access-history and migration machinery (§3.7.2) exists to
+move bytes toward their consumers; this package closes the loop by
+moving the *compute* toward the bytes.  See ``docs/compute.md``.
+"""
+
+from repro.compute.api import ComputeAPI
+from repro.compute.queue import POLICIES, TaskQueue, start_compute
+from repro.compute.worker import Worker
+
+__all__ = ["ComputeAPI", "POLICIES", "TaskQueue", "Worker",
+           "start_compute"]

@@ -109,6 +109,10 @@ class PlacementMixin:
             raise NotFoundError("segment has no owners")
         newest = max(o[1] for o in owners)
         best = [o for o in owners if o[1] == newest]
+        if self.prefer_local:
+            for o in best:
+                if o[0] == self.node.hostid:
+                    return o
         return self.rng.choice(best)
 
     def _place_new_segment(self, segid: int, size_hint: int, alpha: float,

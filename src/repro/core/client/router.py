@@ -33,6 +33,11 @@ from repro.core.location import TtlCache
 from repro.core.namespace import _prefix_point, shard_prefix
 from repro.network.message import RpcRemoteError, RpcTimeout
 
+#: Metadata ops a read-only namespace mirror can answer (bounded-stale
+#: snapshots are the mirror contract; anything mutating must go to the
+#: authoritative shard).
+READ_ONLY = frozenset({"ns_lookup", "ns_list"})
+
 
 def _namespace_error(error: str) -> SorrentoError:
     """Map a remote ``NamespaceError`` string onto the typed hierarchy."""
@@ -89,6 +94,10 @@ class NamespaceRouter:
                                      params.ns_route_cache_capacity)
         self._shard_active: Dict[str, int] = {}
         self._note = note or (lambda counter, n=1: None)
+        # Geo-aware reads: a full-tree namespace mirror (usually on this
+        # client's own tier) preferred for read-only metadata ops, so a
+        # WAN satellite resolves lookups without a central roundtrip.
+        self.mirror: Optional[str] = None
 
     # ------------------------------------------------------------ resolve
     def partition_for(self, payload) -> Optional[str]:
@@ -169,6 +178,26 @@ class NamespaceRouter:
     def call(self, service: str, payload, size: int = 64, rtts: int = 1):
         """Issue one namespace RPC, routing/failing over/redirecting as
         the deployment requires.  Raises the typed client errors."""
+        if self.mirror is not None and service in READ_ONLY:
+            try:
+                result = yield from self.rpc.call(
+                    self.mirror, service, payload, size=size, rtts=rtts,
+                )
+            except RpcRemoteError as exc:
+                if "NamespaceError" not in exc.error:
+                    raise
+                err = _namespace_error(exc.error)
+                if not isinstance(err, NotFoundError):
+                    raise err from exc
+                # Not in the mirror (yet): bounded staleness means the
+                # entry may exist centrally — fall through and ask the
+                # authoritative server over the WAN.
+                self._note("mirror_fallbacks")
+            except RpcTimeout:
+                self._note("mirror_fallbacks")
+            else:
+                self._note("mirror_hits")
+                return result
         if self.sharded:
             result = yield from self._call_sharded(service, payload,
                                                    size, rtts)

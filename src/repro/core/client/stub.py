@@ -70,7 +70,14 @@ class SorrentoClient(NamespaceOpsMixin, PlacementMixin, DataPathMixin,
                       "entry_hits": 0, "entry_misses": 0,
                       "meta_hits": 0, "meta_misses": 0,
                       "vec_rpcs": 0, "vec_pieces": 0,
-                      "route_hits": 0, "route_misses": 0, "ns_redirects": 0}
+                      "route_hits": 0, "route_misses": 0, "ns_redirects": 0,
+                      "mirror_hits": 0, "mirror_fallbacks": 0}
+        # Read-placement preference: when True, reads served by a replica
+        # set that includes this very node short-circuit to the local copy
+        # instead of spreading load at random.  Off by default (the random
+        # spread is the paper's behaviour); compute workers switch it on so
+        # a pre-staged input is actually read locally.
+        self.prefer_local = False
         # The caching-and-batching plane: location/entry/meta caches plus
         # the membership hook that evicts a dead owner's claims.
         self.loc_cache = ClientLocationCache(self.params.loc_cache_ttl,

@@ -552,16 +552,28 @@ class StorageProvider:
                     data = yield from self.store.read(segid, mine.version,
                                                       offset, length)
             self.history.record(segid, src, length)
-            return {
+            resp = {
                 "owners": self.loc.lookup(segid) or [(self.node.hostid, mine.version)],
                 "inline": {"version": mine.version, "data": data,
                            "length": length, "meta": mine.meta,
                            "size": mine.size},
-            }, 96 + length
-        owners = self.loc.lookup(segid)
-        if mine is not None and all(h != self.node.hostid for h, _ in owners):
-            owners = [(self.node.hostid, mine.version)] + owners
-        return {"owners": owners, "inline": None}, 64 + 16 * len(owners)
+            }
+            nbytes = 96 + length
+        else:
+            owners = self.loc.lookup(segid)
+            if mine is not None and all(h != self.node.hostid for h, _ in owners):
+                owners = [(self.node.hostid, mine.version)] + owners
+            resp = {"owners": owners, "inline": None}
+            nbytes = 64 + 16 * len(owners)
+        if req.get("affinity"):
+            # Opt-in (the compute scheduler sets it): the per-source byte
+            # counts this home host's access history holds for the segment,
+            # so a caller can score *who has been reading these bytes*
+            # without a second RPC.  Existing flows never set the flag.
+            traffic = self.history.traffic_by_source(segid)
+            resp["affinity"] = traffic
+            nbytes += 24 * len(traffic)
+        return resp, nbytes
 
     def _h_loc_update(self, req: dict, src: str) -> None:
         """Eager add/remove of one location entry (segment events)."""

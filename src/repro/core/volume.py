@@ -258,6 +258,11 @@ class SorrentoDeployment:
             ns_shard_epoch=(self.ns_shard_map.epoch
                             if self.ns_shard_map is not None else 1),
         )
+        if hostid in self.ns_mirrors:
+            # Geo-aware reads: a client co-located with a namespace
+            # mirror (a WAN satellite tier) serves read-only metadata
+            # from it instead of crossing the WAN.
+            client.router.mirror = hostid
         self.clients.append(client)
         return client
 

@@ -261,9 +261,10 @@ def run(scale: float = 1.0, duration: float = 90.0, n_shards: int = 2,
 
     sync_progress: Dict[str, List[tuple]] = {s: [] for s in sats}
     seen: Dict[str, Dict[str, int]] = {s: {} for s in sats}
+    sat_clients = {s: dep.client_on(s) for s in sats}
     for s in sats:
         procs.append(dep.sim.process(_satellite_sync(
-            dep, s, dep.client_on(s), seen[s], sync_progress[s],
+            dep, s, sat_clients[s], seen[s], sync_progress[s],
             t0 + duration)))
     lag_series: Dict[str, List[tuple]] = {s: [] for s in sats}
     dep.sim.process(_lag_sampler(dep, sats, lag_series, t0 + duration))
@@ -295,6 +296,10 @@ def run(scale: float = 1.0, duration: float = 90.0, n_shards: int = 2,
             "mirror_entries": mirror_entries,
             "lag_final": lag_series[s][-1][1] if lag_series[s] else 0,
             "lag_max": max((v for _, v in lag_series[s]), default=0),
+            # Geo-aware reads: the satellite's read-only metadata ops
+            # served by its own mirror vs bounced to the central tier.
+            "mirror_hits": sat_clients[s].stats["mirror_hits"],
+            "mirror_fallbacks": sat_clients[s].stats["mirror_fallbacks"],
         }
 
     res = {
@@ -336,7 +341,9 @@ def report(res: Dict) -> str:
         table += (f"\n{s}: synced {row['files_synced']} files / "
                   f"{row['bytes_synced'] / MB:.1f} MB, mirror holds "
                   f"{row['mirror_entries']} entries, ship lag "
-                  f"max {row['lag_max']} final {row['lag_final']}")
+                  f"max {row['lag_max']} final {row['lag_final']}, "
+                  f"metadata reads {row['mirror_hits']} local / "
+                  f"{row['mirror_fallbacks']} WAN")
     if "recovery" in res:
         table += (f"\nWAN partition of {res['satellites'][0]} at "
                   f"t={res['fail_at']:g}s, healed t={res['heal_at']:g}s")
@@ -365,6 +372,14 @@ def checks(res: Dict) -> list:
         if row["files_synced"] < floor:
             bad.append(f"{s}: data sync fell behind "
                        f"({row['files_synced']}/{res['eligible']} eligible)")
+        if row["files_synced"] and row["mirror_hits"] == 0:
+            bad.append(f"{s}: satellite reads bypassed its local "
+                       "namespace mirror")
+        if res["variant"] == "steady" and row["mirror_fallbacks"] > 0:
+            # The sync agent only opens paths its mirror already holds,
+            # so in steady state *zero* metadata ops may cross the WAN.
+            bad.append(f"{s}: {row['mirror_fallbacks']} WAN metadata "
+                       "roundtrips in steady state")
     if res["variant"] == "wanpart":
         s0 = res["satellites"][0]
         t, rate = res["t"], res["sats"][s0]["sync_rate"]

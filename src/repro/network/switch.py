@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
-from repro.network.message import MULTICAST, Message, release_message
+from repro.network.message import (
+    MULTICAST,
+    Message,
+    delivery_lane,
+    release_message,
+)
 from repro.network.nic import NIC, FAST_ETHERNET_BPS
 from repro.sim import Simulator
 
@@ -174,7 +179,8 @@ class Fabric:
         elif msg.dst == msg.src:
             # Loopback: co-located client and daemon skip the NIC entirely
             # ("data transfers do not need to go through network", §3.7.2).
-            self.sim.timeout(LOOPBACK_LATENCY).add_callback(
+            self.sim.timeout(LOOPBACK_LATENCY,
+                             lane=delivery_lane(msg.src, msg.src)).add_callback(
                 lambda _ev, host=src, m=msg: self._deliver_loopback(host, m))
             return
         else:
@@ -236,7 +242,8 @@ class Fabric:
                 _rx_start, rx_done = dst.nic.rx.reserve(
                     msg.wire_size, not_before=tx_start + self.latency + extra)
                 arrive = max(tx_done + self.latency + extra, rx_done)
-                sim.timeout(arrive - now).add_callback(
+                sim.timeout(arrive - now,
+                            lane=delivery_lane(msg.src, hostid)).add_callback(
                     lambda _ev, d=dst, m=msg: self._deliver_copy(d, m))
                 copies += 1
         # Nothing fires before the next sim.step(), so the refcount is

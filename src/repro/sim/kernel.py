@@ -6,7 +6,7 @@ on, so the per-event taxes are explicit):
 * zero-delay events bypass ``heapq`` through two FIFOs — one for
   priority-0 "urgent" events (process bootstrap, interrupts) and one for
   ordinary same-tick triggers — preserving exactly the ``(time,
-  priority, seq)`` order the heap would have produced;
+  priority, lane, seq)`` order the heap would have produced;
 * deadlines are :class:`~repro.sim.events.Timer` objects that callers
   cancel on completion; cancelled entries are tombstones, swept (and the
   timer recycled through a free-list) when popped, and compacted in bulk
@@ -54,9 +54,18 @@ class _Kick(Event):
 class Simulator:
     """Drives events in virtual time.
 
-    The heap holds ``(time, priority, seq, event)`` tuples; ``seq`` breaks
-    ties deterministically, so identical runs replay identically.  The
-    zero-delay FIFOs hold tuples of the same shape, and every pop takes
+    The heap holds ``(time, priority, lane, seq, event)`` tuples.  ``lane``
+    is the same-instant arbitration rule: local events carry lane 0, wire
+    deliveries carry a stable lane derived from the (src, dst) pair (see
+    :func:`repro.network.message.delivery_lane`), so ties at one
+    ``(time, priority)`` resolve by *content* — locals first, then
+    deliveries in lane order — independent of heap insertion order.  That
+    independence is what makes one global Simulator and K per-partition
+    Simulators (whose ``seq`` counters advance differently) dispatch
+    same-instant events identically.  ``seq`` still breaks the remaining
+    ties (same lane = same (src, dst) pair = per-pair FIFO).  The
+    zero-delay FIFOs hold tuples of the same shape (always lane 0 — a
+    laned zero-delay schedule is routed to the heap), and every pop takes
     the lexicographically-smallest tuple across all three containers, so
     the fast path is order-equivalent to the pure-heap kernel.
     """
@@ -106,24 +115,27 @@ class Simulator:
         return t
 
     # -- scheduling ---------------------------------------------------
-    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1,
+                  lane: int = 0) -> None:
         self._seq += 1
-        if delay == 0.0:
+        if delay == 0.0 and lane == 0:
             if priority == 0:
-                self._imm0.append((self.now, 0, self._seq, event))
+                self._imm0.append((self.now, 0, 0, self._seq, event))
             elif priority == 1:
-                self._imm1.append((self.now, 1, self._seq, event))
+                self._imm1.append((self.now, 1, 0, self._seq, event))
             else:
-                heapq.heappush(self._heap, (self.now, priority, self._seq, event))
+                heapq.heappush(self._heap,
+                               (self.now, priority, 0, self._seq, event))
         else:
             heapq.heappush(self._heap,
-                           (self.now + delay, priority, self._seq, event))
+                           (self.now + delay, priority, lane, self._seq, event))
         n = self._npending + 1
         self._npending = n
         if n > self._peak_pending:
             self._peak_pending = n
 
-    def _schedule_at(self, event: Event, t: float, priority: int = 1) -> None:
+    def _schedule_at(self, event: Event, t: float, priority: int = 1,
+                     lane: int = 0) -> None:
         """Schedule ``event`` at the *absolute* instant ``t``.
 
         ``_schedule(ev, t - now)`` stores ``now + (t - now)``, which under
@@ -133,15 +145,21 @@ class Simulator:
         it schedules by absolute time.  ``t`` must be ``>= now``.
         """
         self._seq += 1
-        heapq.heappush(self._heap, (t, priority, self._seq, event))
+        heapq.heappush(self._heap, (t, priority, lane, self._seq, event))
         n = self._npending + 1
         self._npending = n
         if n > self._peak_pending:
             self._peak_pending = n
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing after ``delay`` simulated seconds."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                lane: int = 0) -> Timeout:
+        """An event firing after ``delay`` simulated seconds.
+
+        ``lane`` is the same-instant arbitration lane (0 for ordinary
+        local events; wire deliveries pass their (src, dst) lane so ties
+        resolve insertion-order-independently).
+        """
+        return Timeout(self, delay, value, lane=lane)
 
     def timer(self, delay: float, value: Any = None) -> Timer:
         """A cancellable deadline, drawn from the kernel's free-list.
@@ -221,7 +239,7 @@ class Simulator:
         pool = self._timer_pool
         live = []
         for entry in heap:
-            ev = entry[3]
+            ev = entry[4]
             if ev.state is CANCELLED:
                 if type(ev) is Timer and len(pool) < _POOL_MAX:
                     ev.value = None
@@ -237,7 +255,7 @@ class Simulator:
 
     # -- execution ------------------------------------------------------
     def step(self) -> None:
-        """Process the next event (lowest ``(time, priority, seq)``)."""
+        """Process the next event (lowest ``(time, priority, lane, seq)``)."""
         imm0, imm1, heap = self._imm0, self._imm1, self._heap
         best = imm0[0] if imm0 else None
         use = 0
@@ -252,7 +270,7 @@ class Simulator:
             entry = imm1.popleft()
         else:
             entry = imm0.popleft()
-        when, _prio, _seq, event = entry
+        when, _prio, _lane, _seq, event = entry
         self._npending -= 1
         self.now = when
         if event.state is CANCELLED:
@@ -277,7 +295,7 @@ class Simulator:
         twice per event; with multi-window grants this *is* the worker
         hot loop, so the peek and the pop are fused here.  Selection
         order is identical to :meth:`step` (lexicographically smallest
-        ``(time, priority, seq)`` across the FIFOs and the heap).
+        ``(time, priority, lane, seq)`` across the FIFOs and the heap).
 
         Returns the number of distinct grid-aligned windows of width
         ``grid`` that contained at least one processed event (0 when
@@ -310,7 +328,7 @@ class Simulator:
                 imm1.popleft()
             else:
                 imm0.popleft()
-            when, _prio, _seq, event = best
+            when, _prio, _lane, _seq, event = best
             self._npending -= 1
             self.now = when
             if event.state is CANCELLED:

@@ -61,7 +61,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.network.message import HEADER_BYTES, acquire_message
+from repro.network.message import (
+    HEADER_BYTES,
+    acquire_message,
+    delivery_lane,
+)
 from repro.sim.events import SUCCEEDED, Event
 from repro.sim.kernel import Simulator
 
@@ -305,7 +309,11 @@ class Transit:
                               group=group, req_id=req_id)
         msg._refs = 1
         self.delivered += 1
-        self.sim.timeout(final - self.sim.now).add_callback(
+        # Same lane as a direct fabric delivery: cross-cut copies tie-break
+        # against local events identically in serial-with-map and windowed
+        # runs.
+        self.sim.timeout(final - self.sim.now,
+                         lane=delivery_lane(src_id, dst_id)).add_callback(
             lambda _e, d=dst, m=msg: fabric._deliver_copy(d, m))
 
     # -- reporting ------------------------------------------------------

@@ -311,6 +311,42 @@ class ClusterInspector:
             chatter.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
         return stats
 
+    # ------------------------------------------------------------- compute
+    def compute_report(self) -> Dict[str, object]:
+        """Task-queue diagnostics when the compute plane is running.
+
+        Empty dict when :func:`repro.compute.start_compute` was never
+        called on this deployment.  Splits scheduled tasks by locality
+        class (``local`` / ``pre-staged`` / ``pulled``) and bytes moved
+        by the scheduler's pre-staging vs by the tasks themselves.
+        """
+        queue = getattr(self.dep, "compute", None)
+        if queue is None:
+            return {}
+        st = queue.stats
+        return {
+            "queue_host": queue.host,
+            "policy": queue.policy,
+            "workers": len(queue.workers),
+            "queued": queue.pending_count(),
+            "leased": queue.leased_count(),
+            "submitted": st["submitted"],
+            "completed": st["completed"],
+            "failed": st["failed"],
+            "requeued": st["requeued"],
+            "by_class": queue.by_class(),
+            "prestage_segments": st["prestage_segments"],
+            "prestage_already": st["prestage_already"],
+            "scheduler_bytes_moved": st["prestage_bytes"],
+            "task_local_bytes": st["task_local_bytes"],
+            "task_remote_bytes": st["task_remote_bytes"],
+            "task_out_bytes": st["task_out_bytes"],
+            "jobs": len(queue.jobs),
+            "jobs_finished": sum(
+                1 for rec in queue.jobs.values()
+                if rec["finished"] is not None),
+        }
+
     # --------------------------------------------------------------- text
     def summary(self) -> str:
         rep = self.replica_report()
@@ -370,4 +406,16 @@ class ClusterInspector:
                 f"cut edges {part['cut_edges']}, "
                 f"records out {part['records_out']} / "
                 f"in {part['records_in']}, dropped {part['dropped']})")
+        comp = self.compute_report()
+        if comp:
+            cls = comp["by_class"]
+            lines.append(
+                f"compute: {comp['policy']} policy, "
+                f"queue depth {comp['queued']} (+{comp['leased']} leased), "
+                f"{comp['completed']}/{comp['submitted']} tasks done "
+                f"(local {cls['local']} / pre-staged {cls['pre-staged']} / "
+                f"pulled {cls['pulled']}, requeued {comp['requeued']}); "
+                f"bytes moved: scheduler "
+                f"{comp['scheduler_bytes_moved'] >> 20} MB, tasks "
+                f"{comp['task_remote_bytes'] >> 20} MB remote")
         return "\n".join(lines)

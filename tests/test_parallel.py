@@ -135,10 +135,12 @@ def test_fig10_partitioned_golden():
             backend=backend, cross_latency=5e-3)
     assert rows["serial"]["digest"] == rows["inproc"]["digest"]
     assert rows["serial"]["tags"] == rows["inproc"]["tags"]
-    # The pinned golden (regenerate deliberately if the model changes):
-    assert rows["serial"]["tags"] == {"c0": 31, "c1": 13}
-    assert rows["serial"]["digest"] == "a25ffebe69746f4b"
-    assert rows["serial"]["sessions"] == 44
+    # The pinned golden (regenerate deliberately if the model changes;
+    # last re-recorded for the kernel's same-instant delivery-lane
+    # tie-break, which replaced insertion-order arbitration):
+    assert rows["serial"]["tags"] == {"c0": 30, "c1": 13}
+    assert rows["serial"]["digest"] == "8c1f5970ed7995be"
+    assert rows["serial"]["sessions"] == 43
 
 
 def test_three_way_cut_fig10():

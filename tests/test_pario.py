@@ -79,7 +79,11 @@ def test_disjoint_writers_share_one_file():
         return fh
 
     def rank0_first():
-        fh = yield from sessions[0].open_shared("/shared", create=True)
+        # Pre-size the full region (the documented contract: concurrent
+        # *growth* across clients is racy by construction, so the creator
+        # declares the solution size up front, BTIO-style).
+        fh = yield from sessions[0].open_shared("/shared", create=True,
+                                                size=4 * chunk)
         yield from sessions[0].write_at(fh, 0, chunk)
         return fh
 

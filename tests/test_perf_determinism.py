@@ -26,15 +26,18 @@ import hashlib
 from repro.experiments.common import cluster_a_like, sorrento_on
 from repro.workloads.smallfile import session_loop
 
-#: Re-recorded with the client location/meta caches on (see module
-#: docstring); the pre-optimization kernel golden was sessions=149,
-#: messages_sent=3055 — the caches buy 4 extra sessions in the window.
+#: Re-recorded (deliberately, exactly once per change) when: the client
+#: location/meta caches landed (pre-cache: sessions=149,
+#: messages_sent=3055), and again when the kernel's same-instant
+#: delivery-lane tie-break landed (pre-lane: messages_sent=3134) — wire
+#: deliveries now order by stable (src, dst) lane instead of heap
+#: insertion order, a different-but-equally-legal interleaving.
 GOLDEN = {
     "clock": 9.509108141,
     "sessions": 153,
-    "messages_sent": 3134,
+    "messages_sent": 3137,
     "metrics_sha256":
-        "1d5336cb12bc22b10e0645f6838d42b675c8c1ad9b042ed5b497ca2c157e356b",
+        "9b83d803b467b91ccee0905c54d44c9b008c549581086f9b6d215c2c192f979a",
 }
 
 
@@ -135,19 +138,20 @@ def run_faulted_scenario(seed=11, n_clients=2, duration=6.0):
     }
 
 
-#: Recorded when the fault plane landed, re-recorded with the client
-#: location cache (see module docstring; previously sessions=47,
-#: messages_sent=1041).  A drift here means injected faults (or the
-#: hooks they flow through) changed behaviour.
+#: Recorded when the fault plane landed; re-recorded with the client
+#: location cache (previously sessions=47, messages_sent=1041) and with
+#: the kernel's same-instant delivery-lane tie-break (pre-lane:
+#: sessions=50, messages_sent=1098).  A drift here means injected faults
+#: (or the hooks they flow through) changed behaviour.
 GOLDEN_FAULTS = {
     "clock": 12.509108141,
-    "sessions": 50,
-    "messages_sent": 1098,
+    "sessions": 48,
+    "messages_sent": 1057,
     "messages_dropped": 16,
     "messages_duplicated": 9,
     "fault_events": 8,
     "metrics_sha256":
-        "31dff5686df4afe091827b510a6fd7c621f7de507e07b08d45b90c332527768a",
+        "b4c631e0882ccf2737a6ea476c4446df56a5f69d4a7129708b1ebcb2a5eb4b1d",
 }
 
 
